@@ -1,0 +1,36 @@
+//! Criterion benchmarks: one per reproduced table/figure.
+//!
+//! Each benchmark regenerates the complete figure (every coalition value,
+//! Shapley computation, and share series), so `cargo bench` doubles as a
+//! performance regression guard on the whole reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedval_bench::{
+    fig2_utility, fig4_threshold, fig5_shape, fig6_resources, fig7_mixture, fig8_volume,
+    fig9_incentives, table_e1,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    group.bench_function("fig2_utility", |b| b.iter(|| black_box(fig2_utility())));
+    group.bench_function("table_e1", |b| b.iter(|| black_box(table_e1())));
+    group.bench_function("fig4_threshold", |b| b.iter(|| black_box(fig4_threshold())));
+    group.bench_function("fig5_shape", |b| b.iter(|| black_box(fig5_shape())));
+    group.bench_function("fig6_resources", |b| b.iter(|| black_box(fig6_resources())));
+    group.bench_function("fig7_mixture", |b| b.iter(|| black_box(fig7_mixture())));
+    group.bench_function("fig8_volume", |b| b.iter(|| black_box(fig8_volume())));
+    group.bench_function("fig9_incentives", |b| {
+        b.iter(|| black_box(fig9_incentives()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

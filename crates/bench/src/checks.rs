@@ -1,0 +1,337 @@
+//! Qualitative shape checks: the claims the paper's §4 prose makes about
+//! each figure, verified on the regenerated series.
+//!
+//! These are the reproduction's acceptance criteria. Absolute values match
+//! the paper where the paper states them (the game is closed-form); where
+//! it does not, these checks pin the *shape*: crossover locations, equal
+//! shares in the forced-grand-coalition regime, convergence of ϕ̂ to π̂,
+//! and so on.
+
+use crate::figures::*;
+use crate::series::Figure;
+
+/// Result of checking one figure.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Figure id.
+    pub id: &'static str,
+    /// Individual assertions: `(description, passed)`.
+    pub assertions: Vec<(String, bool)>,
+}
+
+impl CheckResult {
+    fn assert(&mut self, description: impl Into<String>, ok: bool) {
+        self.assertions.push((description.into(), ok));
+    }
+
+    /// Whether every assertion passed.
+    pub fn passed(&self) -> bool {
+        self.assertions.iter().all(|(_, ok)| *ok)
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() < tol
+}
+
+/// Fig. 2: ordering of the three utility shapes and the hard threshold.
+pub fn check_fig2(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig2",
+        assertions: Vec::new(),
+    };
+    let concave = fig.series("d=0.8").unwrap();
+    let linear = fig.series("d=1").unwrap();
+    let convex = fig.series("d=1.2").unwrap();
+    r.assert(
+        "all shapes are zero at and below the threshold",
+        [concave, linear, convex]
+            .iter()
+            .all(|s| s.at(50.0) == Some(0.0) && s.at(25.0) == Some(0.0)),
+    );
+    r.assert(
+        "convex > linear > concave at x = 300",
+        convex.at(300.0) > linear.at(300.0) && linear.at(300.0) > concave.at(300.0),
+    );
+    r.assert(
+        "linear utility is the identity above l",
+        close(linear.at(300.0).unwrap(), 300.0, 1e-9),
+    );
+    r
+}
+
+/// Table E1: the paper's exact numbers (with the V({1,2}) erratum — see
+/// EXPERIMENTS.md).
+pub fn check_table_e1(t: &WorkedExample) -> CheckResult {
+    let mut r = CheckResult {
+        id: "table-e1",
+        assertions: Vec::new(),
+    };
+    let v = |label: &str| {
+        t.coalition_values
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, v)| v)
+            .unwrap()
+    };
+    r.assert("V({1}) = 0", v("{1}") == 0.0);
+    r.assert("V({2}) = 0", v("{2}") == 0.0);
+    r.assert("V({3}) = 800", v("{3}") == 800.0);
+    r.assert("V({1,2}) = 0 (strict threshold)", v("{1,2}") == 0.0);
+    r.assert("V({1,3}) = 900", v("{1,3}") == 900.0);
+    r.assert("V({2,3}) = 1200", v("{2,3}") == 1200.0);
+    r.assert("V(N) = 1300", v("{1,2,3}") == 1300.0);
+    r.assert(
+        "phi_hat_2 = 2/13 (the paper's headline number)",
+        close(t.shapley_hat[1], 2.0 / 13.0, 1e-12),
+    );
+    r.assert(
+        "pi_hat_2 = 4/13",
+        close(t.proportional_hat[1], 4.0 / 13.0, 1e-12),
+    );
+    r
+}
+
+/// Fig. 4: the crossover structure the paper walks through in §4.1.
+pub fn check_fig4(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig4",
+        assertions: Vec::new(),
+    };
+    let phi = |i: usize| fig.series(&format!("phi_hat_{i}")).unwrap();
+    let pi = |i: usize| fig.series(&format!("pi_hat_{i}")).unwrap();
+
+    r.assert(
+        "at l = 0, phi_hat equals pi_hat for every facility",
+        (1..=3).all(|i| close(phi(i).at(0.0).unwrap(), pi(i).at(0.0).unwrap(), 1e-9)),
+    );
+    r.assert(
+        "facility 1's share falls once l reaches L1 = 100",
+        phi(1).at(100.0) < phi(1).at(50.0),
+    );
+    r.assert(
+        "facility 2's share falls once l reaches L2 = 400",
+        phi(2).at(400.0) < phi(2).at(350.0),
+    );
+    r.assert(
+        "facilities 1 and 2 lose the {1,2} coalition at l = 500",
+        phi(3).at(500.0) > phi(3).at(450.0),
+    );
+    r.assert(
+        "equal shares once only the grand coalition works (l = 1250)",
+        (1..=3).all(|i| close(phi(i).at(1250.0).unwrap(), 1.0 / 3.0, 1e-9)),
+    );
+    r.assert(
+        "all shares zero above l = 1300 (no coalition can serve)",
+        (1..=3).all(|i| phi(i).at(1350.0) == Some(0.0)),
+    );
+    r.assert(
+        "pi_hat is constant in l",
+        (1..=3).all(|i| {
+            let s = pi(i);
+            s.points.iter().all(|&(_, y)| close(y, s.points[0].1, 1e-9))
+        }),
+    );
+    r.assert(
+        "shapley shares sum to 1 while the federation has value",
+        fig.series[0]
+            .points
+            .iter()
+            .map(|&(x, _)| x)
+            .filter(|&l| l < 1300.0) // strict threshold: V(N) = 0 at 1300
+            .all(|l| {
+                let total: f64 = (1..=3).map(|i| phi(i).at(l).unwrap()).sum();
+                close(total, 1.0, 1e-9)
+            }),
+    );
+    r
+}
+
+/// Fig. 5: ϕ̂ converges toward π̂ as d grows (§4.2).
+pub fn check_fig5(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig5",
+        assertions: Vec::new(),
+    };
+    let distance_at = |d: f64| -> f64 {
+        (1..=3)
+            .map(|i| {
+                let phi = fig.series(&format!("phi_hat_{i}")).unwrap().at(d).unwrap();
+                let pi = fig.series(&format!("pi_hat_{i}")).unwrap().at(d).unwrap();
+                (phi - pi).abs()
+            })
+            .sum()
+    };
+    r.assert(
+        "phi_hat approaches pi_hat as d grows",
+        distance_at(2.5) < distance_at(0.5),
+    );
+    r.assert(
+        "monotone-ish: distance at 2.5 below distance at 1.0 below 0.3",
+        distance_at(2.5) <= distance_at(1.0) + 1e-9,
+    );
+    r
+}
+
+/// Fig. 6: equal products ⇒ equal shares at the extremes; divergence in
+/// between (§4.3.1 and footnote 5).
+pub fn check_fig6(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig6",
+        assertions: Vec::new(),
+    };
+    let phi = |i: usize| fig.series(&format!("phi_hat_{i}")).unwrap();
+    let pi = |i: usize| fig.series(&format!("pi_hat_{i}")).unwrap();
+    r.assert(
+        "pi_hat = 1/3 everywhere (equal Li·Ri products)",
+        (1..=3).all(|i| close(pi(i).at(600.0).unwrap(), 1.0 / 3.0, 1e-9)),
+    );
+    r.assert(
+        "equal shapley shares at l = 0",
+        (1..=3).all(|i| close(phi(i).at(0.0).unwrap(), 1.0 / 3.0, 1e-9)),
+    );
+    r.assert(
+        "equal shapley shares once only the grand coalition works (l = 1250)",
+        (1..=3).all(|i| close(phi(i).at(1250.0).unwrap(), 1.0 / 3.0, 1e-9)),
+    );
+    r.assert(
+        "shares diverge at intermediate thresholds despite equal products",
+        (1..=3).any(|i| !close(phi(i).at(600.0).unwrap(), 1.0 / 3.0, 1e-3)),
+    );
+    r.assert(
+        "the diversity-rich facility 3 gains most at high thresholds",
+        phi(3).at(600.0).unwrap() > phi(1).at(600.0).unwrap(),
+    );
+    r
+}
+
+/// Fig. 7: the more diversity-sensitive the mixture, the further Shapley
+/// departs from proportional (§4.3.2).
+pub fn check_fig7(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig7",
+        assertions: Vec::new(),
+    };
+    let distance_at = |sigma: f64| -> f64 {
+        (1..=3)
+            .map(|i| {
+                let phi = fig
+                    .series(&format!("phi_hat_{i}"))
+                    .unwrap()
+                    .at(sigma)
+                    .unwrap();
+                let pi = fig
+                    .series(&format!("pi_hat_{i}"))
+                    .unwrap()
+                    .at(sigma)
+                    .unwrap();
+                (phi - pi).abs()
+            })
+            .sum()
+    };
+    r.assert(
+        "shapley departs further from proportional as sigma grows",
+        distance_at(1.0) > distance_at(0.0),
+    );
+    let phi3 = fig.series("phi_hat_3").unwrap();
+    r.assert(
+        "the only facility able to host l=700 experiments alone gains",
+        phi3.at(1.0) > phi3.at(0.0),
+    );
+    r
+}
+
+/// Fig. 8: π̂ is volume-independent; ρ̂ and ϕ̂ are not (§4.3.3).
+pub fn check_fig8(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig8",
+        assertions: Vec::new(),
+    };
+    let get = |name: &str, x: f64| fig.series(name).unwrap().at(x).unwrap();
+    r.assert(
+        "pi_hat does not depend on K",
+        (1..=3).all(|i| {
+            close(
+                get(&format!("pi_hat_{i}"), 5.0),
+                get(&format!("pi_hat_{i}"), 100.0),
+                1e-9,
+            )
+        }),
+    );
+    r.assert(
+        "rho_hat at low K follows locations (L_i / sum L)",
+        close(get("rho_hat_1", 5.0), 100.0 / 1300.0, 1e-9)
+            && close(get("rho_hat_3", 5.0), 800.0 / 1300.0, 1e-9),
+    );
+    r.assert(
+        "rho_hat converges to pi_hat at saturation",
+        (1..=3).all(|i| {
+            close(
+                get(&format!("rho_hat_{i}"), 100.0),
+                get(&format!("pi_hat_{i}"), 100.0),
+                1e-2,
+            )
+        }),
+    );
+    r.assert(
+        "rho_hat at low K differs significantly from pi_hat",
+        (get("rho_hat_1", 5.0) - get("pi_hat_1", 5.0)).abs() > 0.05,
+    );
+    r.assert(
+        "shapley shares depend on the demand volume",
+        (get("phi_hat_1", 5.0) - get("phi_hat_1", 100.0)).abs() > 1e-3,
+    );
+    r
+}
+
+/// Fig. 9: incentive structure of the schemes (§4.4).
+pub fn check_fig9(fig: &Figure) -> CheckResult {
+    let mut r = CheckResult {
+        id: "fig9",
+        assertions: Vec::new(),
+    };
+    let phi0 = fig.series("phi_1(l=0)").unwrap();
+    let pi0 = fig.series("pi_1(l=0)").unwrap();
+    r.assert(
+        "with l = 0 the game is additive: phi_1 = pi_1 = 80·L1",
+        phi0.points
+            .iter()
+            .zip(&pi0.points)
+            .all(|(&(x, a), &(_, b))| close(a, b, 1e-6) && close(a, 80.0 * x, 1e-6)),
+    );
+    let phi800 = fig.series("phi_1(l=800)").unwrap();
+    r.assert(
+        "profit grows with L1 under every threshold",
+        phi800.endpoints().is_some_and(|(first, last)| last > first),
+    );
+    // Threshold kick: the marginal profit of shapley around the point
+    // where facility 1 starts enabling new coalitions exceeds the smooth
+    // proportional marginal (the paper's "powerful incentives around the
+    // threshold points").
+    let max_step = |s: &crate::series::Series| -> f64 {
+        s.points
+            .windows(2)
+            .map(|w| w[1].1 - w[0].1)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let pi800 = fig.series("pi_1(l=800)").unwrap();
+    r.assert(
+        "shapley has sharper steps than proportional at l = 800",
+        max_step(phi800) > max_step(pi800) - 1e-9,
+    );
+    r
+}
+
+/// Runs every figure generator and its checks.
+pub fn check_all() -> Vec<CheckResult> {
+    vec![
+        check_fig2(&fig2_utility()),
+        check_table_e1(&table_e1()),
+        check_fig4(&fig4_threshold()),
+        check_fig5(&fig5_shape()),
+        check_fig6(&fig6_resources()),
+        check_fig7(&fig7_mixture()),
+        check_fig8(&fig8_volume()),
+        check_fig9(&fig9_incentives()),
+    ]
+}

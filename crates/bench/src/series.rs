@@ -1,0 +1,150 @@
+//! Data-series containers shared by the repro binary, benches, and tests.
+
+/// One named curve: `(x, y)` points in sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. "phi_hat_1".
+    pub label: String,
+    /// The sampled points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at the given x (exact match), if sampled.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// First and last y values (`None` if empty).
+    pub fn endpoints(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.1, self.points.last()?.1))
+    }
+}
+
+/// A reproduced figure: an id (e.g. "fig4"), the x-axis meaning, and its
+/// series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier matching the paper ("fig2" … "fig9").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Label of the x axis.
+    pub x_label: &'static str,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as CSV (header row, then one row per x).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label);
+        }
+        let _ = writeln!(out);
+        let n = self.series.first().map_or(0, |s| s.points.len());
+        for i in 0..n {
+            let x = self.series[0].points[i].0;
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                let y = s.points.get(i).map_or(f64::NAN, |&(_, y)| y);
+                let _ = write!(out, ",{y}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders a fixed-width table: x column plus one column per series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>10}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>12}", s.label);
+        }
+        let _ = writeln!(out);
+        let n = self.series.first().map_or(0, |s| s.points.len());
+        for i in 0..n {
+            let x = self.series[0].points[i].0;
+            let _ = write!(out, "{x:>10.2}");
+            for s in &self.series {
+                let y = s.points.get(i).map_or(f64::NAN, |&(_, y)| y);
+                let _ = write!(out, " {y:>12.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Figure {
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(0.0, 3.0);
+        b.push(1.0, 4.0);
+        Figure {
+            id: "figX",
+            title: "toy",
+            x_label: "x",
+            series: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn lookup_and_endpoints() {
+        let f = toy();
+        assert_eq!(f.series("b").unwrap().at(1.0), Some(4.0));
+        assert_eq!(f.series("a").unwrap().endpoints(), Some((1.0, 2.0)));
+        assert!(f.series("zzz").is_none());
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = toy().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,a,b"));
+        assert_eq!(lines.next(), Some("0,1,3"));
+        assert_eq!(lines.next(), Some("1,2,4"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_rows() {
+        let text = toy().render();
+        assert!(text.contains("figX"));
+        assert!(text.contains(" a") && text.contains(" b"));
+        assert_eq!(text.lines().count(), 2 + 2); // header+cols + 2 rows
+    }
+}

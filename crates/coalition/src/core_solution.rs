@@ -1,0 +1,264 @@
+//! The core, ε-core, and least core of a coalitional game.
+//!
+//! The core (§3.2.1 of the paper) is the set of efficient allocations no
+//! coalition can improve upon by seceding:
+//!
+//! ```text
+//! C = { v : Σᵢ vᵢ = V(N)  and  Σ_{i∈S} vᵢ ≥ V(S)  ∀ S ⊆ N }
+//! ```
+//!
+//! Emptiness is decided by solving the *least-core* LP — minimize the
+//! uniform relaxation ε such that `x(S) ≥ V(S) − ε` for every proper
+//! non-empty coalition. The core is non-empty iff the optimum ε\* ≤ 0.
+//!
+//! The LP has `2^n − 2` constraints, so exact core computations are
+//! practical for `n ≤ ~12` players — far beyond the paper's top-level
+//! PlanetLab federations (PLC, PLE, PLJ, plus a few joining testbeds).
+
+use crate::coalition::Coalition;
+use crate::game::CoalitionalGame;
+use fedval_simplex::{LinearProgram, Objective, Relation, Status};
+
+/// Default numerical tolerance for core decisions.
+pub const CORE_TOL: f64 = 1e-7;
+
+/// Result of the least-core computation.
+#[derive(Debug, Clone)]
+pub struct LeastCore {
+    /// Minimal uniform relaxation ε\*. Core is non-empty iff `epsilon ≤ 0`
+    /// (within tolerance).
+    pub epsilon: f64,
+    /// A least-core allocation (efficient; violates no coalition by more
+    /// than ε\*).
+    pub allocation: Vec<f64>,
+}
+
+/// Whether allocation `x` lies in the core of `game` (within `tol`).
+///
+/// Checks efficiency and all `2^n` coalition-rationality constraints.
+pub fn is_in_core<G: CoalitionalGame>(game: &G, x: &[f64], tol: f64) -> bool {
+    let n = game.n_players();
+    assert_eq!(x.len(), n, "allocation length must equal player count");
+    let total: f64 = x.iter().sum();
+    if (total - game.grand_value()).abs() > tol {
+        return false;
+    }
+    Coalition::all(n).all(|s| {
+        let xs: f64 = s.players().map(|p| x[p]).sum();
+        xs >= game.value(s) - tol
+    })
+}
+
+/// The excess `e(S, x) = V(S) − x(S)` of coalition `S` at allocation `x`:
+/// positive excess means `S` has a complaint.
+pub fn excess<G: CoalitionalGame>(game: &G, x: &[f64], s: Coalition) -> f64 {
+    let xs: f64 = s.players().map(|p| x[p]).sum();
+    game.value(s) - xs
+}
+
+/// Solves the least-core LP.
+///
+/// # Panics
+/// Panics if `n == 0` or `n > 16` (LP size `2^n` becomes impractical).
+pub fn least_core<G: CoalitionalGame>(game: &G) -> LeastCore {
+    let n = game.n_players();
+    assert!(n >= 1, "need at least one player");
+    assert!(n <= 16, "least-core LP limited to n ≤ 16");
+
+    if n == 1 {
+        return LeastCore {
+            epsilon: 0.0,
+            allocation: vec![game.grand_value()],
+        };
+    }
+
+    // Variables: free xᵢ (as plus/minus pairs) and free ε.
+    let mut lp = LinearProgram::new(0, Objective::Minimize);
+    let x_pairs: Vec<(usize, usize)> = (0..n).map(|_| lp.add_free_variable_pair()).collect();
+    let eps_pair = lp.add_free_variable_pair();
+    lp.set_objective_coefficient(eps_pair.0, 1.0);
+    lp.set_objective_coefficient(eps_pair.1, -1.0);
+
+    let n_vars = lp.n_vars();
+    let coalition_row = |s: Coalition, with_eps: bool| -> Vec<f64> {
+        let mut row = vec![0.0; n_vars];
+        for p in s.players() {
+            row[x_pairs[p].0] = 1.0;
+            row[x_pairs[p].1] = -1.0;
+        }
+        if with_eps {
+            row[eps_pair.0] = 1.0;
+            row[eps_pair.1] = -1.0;
+        }
+        row
+    };
+
+    // x(S) + ε ≥ V(S) for all proper non-empty S.
+    let grand = Coalition::grand(n);
+    for s in Coalition::all(n) {
+        if s.is_empty() || s == grand {
+            continue;
+        }
+        lp.add_constraint(coalition_row(s, true), Relation::Ge, game.value(s));
+    }
+    // Efficiency: x(N) = V(N).
+    lp.add_constraint(
+        coalition_row(grand, false),
+        Relation::Eq,
+        game.grand_value(),
+    );
+
+    let sol = lp.solve().expect("least-core LP is well-formed");
+    assert_eq!(
+        sol.status,
+        Status::Optimal,
+        "least-core LP is always feasible and bounded"
+    );
+    let allocation = x_pairs
+        .iter()
+        .map(|&pair| LinearProgram::free_value(&sol.x, pair))
+        .collect();
+    LeastCore {
+        epsilon: LinearProgram::free_value(&sol.x, eps_pair),
+        allocation,
+    }
+}
+
+/// Whether the core is non-empty (least-core ε\* ≤ tolerance).
+pub fn is_core_nonempty<G: CoalitionalGame>(game: &G) -> bool {
+    least_core(game).epsilon <= CORE_TOL
+}
+
+/// Whether allocation `x` lies in the ε-core: efficient, and no coalition's
+/// excess exceeds `epsilon`.
+pub fn is_in_epsilon_core<G: CoalitionalGame>(game: &G, x: &[f64], epsilon: f64, tol: f64) -> bool {
+    let n = game.n_players();
+    assert_eq!(x.len(), n);
+    let total: f64 = x.iter().sum();
+    if (total - game.grand_value()).abs() > tol {
+        return false;
+    }
+    let grand = Coalition::grand(n);
+    Coalition::all(n)
+        .filter(|&s| !s.is_empty() && s != grand)
+        .all(|s| excess(game, x, s) <= epsilon + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::FnGame;
+
+    /// 3-player majority game: V(S)=1 iff |S| ≥ 2 — classic empty core.
+    fn majority() -> FnGame<impl Fn(Coalition) -> f64 + Sync> {
+        FnGame::new(3, |c: Coalition| (c.len() >= 2) as u64 as f64)
+    }
+
+    /// Additive game — core is a single point (the singleton values).
+    fn additive() -> FnGame<impl Fn(Coalition) -> f64 + Sync> {
+        FnGame::new(3, |c: Coalition| {
+            c.players().map(|p| (p + 1) as f64).sum::<f64>()
+        })
+    }
+
+    #[test]
+    fn majority_game_core_is_empty() {
+        let g = majority();
+        let lc = least_core(&g);
+        // Known: least-core ε* = 1/3 for the 3-player majority game.
+        assert!((lc.epsilon - 1.0 / 3.0).abs() < 1e-6, "ε* = {}", lc.epsilon);
+        assert!(!is_core_nonempty(&g));
+        // The least-core allocation is the symmetric (1/3, 1/3, 1/3).
+        for v in &lc.allocation {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn additive_game_core_contains_singleton_vector() {
+        let g = additive();
+        assert!(is_core_nonempty(&g));
+        assert!(is_in_core(&g, &[1.0, 2.0, 3.0], 1e-9));
+        assert!(!is_in_core(&g, &[0.5, 2.0, 3.5], 1e-9)); // player 0 blocks
+        assert!(!is_in_core(&g, &[2.0, 2.0, 3.0], 1e-9)); // inefficient
+    }
+
+    #[test]
+    fn least_core_allocation_is_in_epsilon_core() {
+        let g = majority();
+        let lc = least_core(&g);
+        assert!(is_in_epsilon_core(&g, &lc.allocation, lc.epsilon, 1e-6));
+        // ...but not in any tighter core.
+        assert!(!is_in_epsilon_core(
+            &g,
+            &lc.allocation,
+            lc.epsilon - 0.01,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn glove_game_core_is_extreme_point() {
+        // 1 left glove (player 0) vs 2 right gloves: the core is the single
+        // point (1, 0, 0) — all surplus to the scarce side.
+        let g = FnGame::new(3, |c: Coalition| {
+            let left = c.contains(0) as usize;
+            let right = c.contains(1) as usize + c.contains(2) as usize;
+            left.min(right) as f64
+        });
+        assert!(is_core_nonempty(&g));
+        assert!(is_in_core(&g, &[1.0, 0.0, 0.0], 1e-9));
+        assert!(!is_in_core(&g, &[0.8, 0.1, 0.1], 1e-9));
+        let lc = least_core(&g);
+        assert!(lc.epsilon <= 1e-7);
+    }
+
+    #[test]
+    fn excess_signs() {
+        let g = additive();
+        let s = Coalition::from_players([0, 1]);
+        assert!((excess(&g, &[1.0, 2.0, 3.0], s) - 0.0).abs() < 1e-12);
+        assert!(excess(&g, &[0.0, 0.0, 6.0], s) > 0.0); // S complains
+        assert!(excess(&g, &[3.0, 3.0, 0.0], s) < 0.0); // S over-served
+    }
+
+    #[test]
+    fn single_player_least_core() {
+        let g = FnGame::new(1, |c: Coalition| if c.is_empty() { 0.0 } else { 7.0 });
+        let lc = least_core(&g);
+        assert_eq!(lc.allocation, vec![7.0]);
+        assert!(is_in_core(&g, &lc.allocation, 1e-9));
+    }
+
+    #[test]
+    fn paper_threshold_game_core_nonempty_at_high_threshold() {
+        // §3.2.1: as l grows, small coalitions become worthless and the
+        // grand coalition's comparative value rises, turning the core
+        // non-empty. With l = 1250 only N can serve the experiment.
+        let l_contrib = [100.0, 400.0, 800.0];
+        let g = FnGame::new(3, move |c: Coalition| {
+            let total: f64 = c.players().map(|p| l_contrib[p]).sum();
+            if total > 1250.0 {
+                total
+            } else {
+                0.0
+            }
+        });
+        assert!(is_core_nonempty(&g));
+        // Equal split is in the core: no proper coalition has any value.
+        let equal = vec![1300.0 / 3.0; 3];
+        assert!(is_in_core(&g, &equal, 1e-9));
+    }
+
+    #[test]
+    fn concave_no_threshold_game_core_can_be_empty() {
+        // §3.2.1: strictly concave utility, no threshold, no multiplexing
+        // (d < 1, l = 0, t = 1) — not super-additive, core empty.
+        let l_contrib = [100.0, 400.0, 800.0];
+        let g = FnGame::new(3, move |c: Coalition| {
+            let total: f64 = c.players().map(|p| l_contrib[p]).sum();
+            total.powf(0.5)
+        });
+        assert!(!is_core_nonempty(&g));
+    }
+}

@@ -1,0 +1,250 @@
+//! Game representations: the [`CoalitionalGame`] trait, dense tables, and
+//! memoizing wrappers.
+
+use crate::coalition::{Coalition, PlayerId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A transferable-utility coalitional game `(N, V)`.
+///
+/// Implementors provide the number of players and the characteristic
+/// function `V : 2^N → ℝ`. The convention `V(∅) = 0` is assumed by every
+/// solution concept in this crate; [`check_zero_normalized_empty`] can be
+/// used in tests to validate custom implementations.
+///
+/// Implementations should be cheap to call repeatedly — the solution
+/// concepts evaluate `value` up to `O(2^n)` times. Expensive characteristic
+/// functions (e.g. ones that run an allocation optimizer or a simulation)
+/// should be wrapped in a [`CachedGame`] or materialized into a
+/// [`TableGame`] via [`TableGame::from_game`].
+pub trait CoalitionalGame: Sync {
+    /// Number of players `n = |N|`.
+    fn n_players(&self) -> usize;
+
+    /// The characteristic function `V(S)`.
+    fn value(&self, coalition: Coalition) -> f64;
+
+    /// Value of the grand coalition `V(N)`.
+    fn grand_value(&self) -> f64 {
+        self.value(Coalition::grand(self.n_players()))
+    }
+
+    /// Marginal contribution of player `i` to coalition `S` (with `i ∉ S`):
+    /// `Δᵢ(V, S) = V(S ∪ {i}) − V(S)`.
+    fn marginal(&self, i: PlayerId, coalition: Coalition) -> f64 {
+        debug_assert!(!coalition.contains(i));
+        self.value(coalition.with(i)) - self.value(coalition)
+    }
+}
+
+/// Asserts `V(∅) = 0` (within `tol`); helper for tests of custom games.
+pub fn check_zero_normalized_empty<G: CoalitionalGame>(game: &G, tol: f64) -> bool {
+    game.value(Coalition::EMPTY).abs() <= tol
+}
+
+/// A game materialized as a dense table of `2^n` values.
+///
+/// This is the workhorse representation: exact solution concepts touch every
+/// coalition anyway, so paying `O(2^n)` space makes each lookup one array
+/// access. Practical for `n ≤ ~25`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableGame {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl TableGame {
+    /// Builds a table game by evaluating `f` on every coalition.
+    ///
+    /// # Panics
+    /// Panics if `n > 25` (the table would exceed 256 MiB) — materialize
+    /// lazily with [`CachedGame`] instead.
+    pub fn from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> TableGame {
+        assert!(n <= 25, "dense table limited to n ≤ 25 players");
+        let values = Coalition::all(n).map(f).collect();
+        TableGame { n, values }
+    }
+
+    /// Materializes any [`CoalitionalGame`] into a dense table.
+    pub fn from_game<G: CoalitionalGame>(game: &G) -> TableGame {
+        TableGame::from_fn(game.n_players(), |c| game.value(c))
+    }
+
+    /// Builds directly from a value vector indexed by coalition mask.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != 2^n`.
+    pub fn from_values(n: usize, values: Vec<f64>) -> TableGame {
+        assert_eq!(values.len(), 1usize << n, "need exactly 2^n values");
+        TableGame { n, values }
+    }
+
+    /// Immutable access to the raw table (indexed by `Coalition::index`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sets `V(S)`.
+    pub fn set(&mut self, coalition: Coalition, value: f64) {
+        self.values[coalition.index()] = value;
+    }
+
+    /// The zero-normalized version of this game:
+    /// `V₀(S) = V(S) − Σ_{i∈S} V({i})`.
+    pub fn zero_normalized(&self) -> TableGame {
+        let singles: Vec<f64> = (0..self.n)
+            .map(|i| self.values[Coalition::singleton(i).index()])
+            .collect();
+        TableGame::from_fn(self.n, |c| {
+            self.values[c.index()] - c.players().map(|p| singles[p]).sum::<f64>()
+        })
+    }
+}
+
+impl CoalitionalGame for TableGame {
+    fn n_players(&self) -> usize {
+        self.n
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        self.values[coalition.index()]
+    }
+}
+
+/// Memoizing wrapper for games with expensive characteristic functions
+/// (allocation optimizers, simulations).
+///
+/// Thread-safe: concurrent solution-concept code (e.g. the parallel Shapley
+/// pass) may share one `CachedGame` across threads.
+pub struct CachedGame<G> {
+    inner: G,
+    cache: RwLock<HashMap<u64, f64>>,
+}
+
+impl<G: CoalitionalGame> CachedGame<G> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: G) -> CachedGame<G> {
+        CachedGame {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized coalition values.
+    pub fn cached_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Consumes the wrapper, returning the inner game.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
+    fn n_players(&self) -> usize {
+        self.inner.n_players()
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        if let Some(&v) = self.cache.read().get(&coalition.0) {
+            return v;
+        }
+        let v = self.inner.value(coalition);
+        self.cache.write().insert(coalition.0, v);
+        v
+    }
+}
+
+/// A game defined by a closure; convenient for tests and ad-hoc models.
+pub struct FnGame<F> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(Coalition) -> f64 + Sync> FnGame<F> {
+    /// Wraps a closure as a game over `n` players.
+    pub fn new(n: usize, f: F) -> FnGame<F> {
+        FnGame { n, f }
+    }
+}
+
+impl<F: Fn(Coalition) -> f64 + Sync> CoalitionalGame for FnGame<F> {
+    fn n_players(&self) -> usize {
+        self.n
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        (self.f)(coalition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cardinality_game(n: usize) -> TableGame {
+        TableGame::from_fn(n, |c| c.len() as f64)
+    }
+
+    #[test]
+    fn table_from_fn_round_trips() {
+        let g = cardinality_game(4);
+        assert_eq!(g.n_players(), 4);
+        assert_eq!(g.value(Coalition::EMPTY), 0.0);
+        assert_eq!(g.value(Coalition::grand(4)), 4.0);
+        assert_eq!(g.value(Coalition::from_players([1, 3])), 2.0);
+        assert!(check_zero_normalized_empty(&g, 0.0));
+    }
+
+    #[test]
+    fn marginal_contribution() {
+        let g = TableGame::from_fn(3, |c| (c.len() * c.len()) as f64);
+        // Δ_0({1}) = V({0,1}) − V({1}) = 4 − 1 = 3.
+        assert_eq!(g.marginal(0, Coalition::singleton(1)), 3.0);
+    }
+
+    #[test]
+    fn zero_normalization_subtracts_singletons() {
+        let g = TableGame::from_fn(3, |c| if c.is_empty() { 0.0 } else { 10.0 });
+        let z = g.zero_normalized();
+        assert_eq!(z.value(Coalition::singleton(0)), 0.0);
+        assert_eq!(z.value(Coalition::grand(3)), 10.0 - 30.0);
+    }
+
+    #[test]
+    fn from_values_checks_length() {
+        let g = TableGame::from_values(2, vec![0.0, 1.0, 2.0, 5.0]);
+        assert_eq!(g.value(Coalition::grand(2)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn from_values_rejects_bad_length() {
+        let _ = TableGame::from_values(2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn cached_game_memoizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let g = FnGame::new(3, |c: Coalition| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            c.len() as f64
+        });
+        let cached = CachedGame::new(g);
+        let c = Coalition::from_players([0, 1]);
+        assert_eq!(cached.value(c), 2.0);
+        assert_eq!(cached.value(c), 2.0);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(cached.cached_len(), 1);
+    }
+
+    #[test]
+    fn table_clone_preserves_values() {
+        let g = cardinality_game(3);
+        let g2 = g.clone();
+        assert_eq!(g.values(), g2.values());
+    }
+}

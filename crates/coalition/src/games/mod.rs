@@ -1,0 +1,14 @@
+//! A library of standard coalitional games with known closed-form
+//! solutions, used as gold-standard oracles in tests and benches.
+
+mod airport;
+mod bankruptcy;
+mod glove;
+mod unanimity;
+mod weighted_voting;
+
+pub use airport::AirportGame;
+pub use bankruptcy::{talmud_rule, BankruptcyGame};
+pub use glove::GloveGame;
+pub use unanimity::UnanimityGame;
+pub use weighted_voting::WeightedVotingGame;

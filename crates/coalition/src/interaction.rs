@@ -1,0 +1,139 @@
+//! The Shapley interaction index (Grabisch–Roubens) for player pairs.
+//!
+//! Where the Shapley value summarizes a player's average contribution, the
+//! pairwise interaction index summarizes how two players' contributions
+//! *combine*: positive means complements (each raises the other's
+//! marginal value — e.g. facilities with disjoint locations jointly
+//! crossing a diversity threshold), negative means substitutes
+//! (overlapping locations, redundant capacity). Via Harsanyi dividends:
+//!
+//! ```text
+//! I(i, j) = Σ_{S ⊇ {i,j}} d(S) / (|S| − 1)
+//! ```
+//!
+//! This is the quantitative form of the paper's "the less overlapping,
+//! the more valuable one's contribution".
+
+use crate::coalition::Coalition;
+use crate::dividends::harsanyi_dividends;
+use crate::game::CoalitionalGame;
+
+/// Pairwise Shapley interaction indices: `matrix[i][j] = I(i, j)`
+/// (symmetric; the diagonal is set to 0).
+pub fn interaction_matrix<G: CoalitionalGame>(game: &G) -> Vec<Vec<f64>> {
+    let n = game.n_players();
+    let d = harsanyi_dividends(game);
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (mask, &div) in d.iter().enumerate() {
+        let s = Coalition(mask as u64);
+        let size = s.len();
+        if size < 2 || div == 0.0 {
+            continue;
+        }
+        let weight = div / (size as f64 - 1.0);
+        let members: Vec<usize> = s.players().collect();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                matrix[i][j] += weight;
+                matrix[j][i] += weight;
+            }
+        }
+    }
+    matrix
+}
+
+/// The single pair with the strongest positive interaction (best
+/// complements), if any pair interacts positively.
+pub fn strongest_complements<G: CoalitionalGame>(game: &G) -> Option<(usize, usize, f64)> {
+    let m = interaction_matrix(game);
+    let n = m.len();
+    let mut best: Option<(usize, usize, f64)> = None;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if m[i][j] > 0.0 && best.is_none_or(|(_, _, v)| m[i][j] > v) {
+                best = Some((i, j, m[i][j]));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::FnGame;
+
+    #[test]
+    fn additive_games_have_zero_interaction() {
+        let g = FnGame::new(3, |c: Coalition| {
+            c.players().map(|p| (p + 1) as f64).sum::<f64>()
+        });
+        let m = interaction_matrix(&g);
+        for row in &m {
+            for &v in row {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+        assert!(strongest_complements(&g).is_none());
+    }
+
+    #[test]
+    fn unanimity_pair_interacts_exactly_by_its_dividend() {
+        // u_{0,1} with weight 6: I(0,1) = 6/(2−1) = 6; others 0.
+        let t = Coalition::from_players([0, 1]);
+        let g = FnGame::new(3, move |c: Coalition| {
+            if t.is_subset_of(c) {
+                6.0
+            } else {
+                0.0
+            }
+        });
+        let m = interaction_matrix(&g);
+        assert!((m[0][1] - 6.0).abs() < 1e-12);
+        assert!((m[1][0] - 6.0).abs() < 1e-12);
+        assert!(m[0][2].abs() < 1e-12);
+        assert_eq!(strongest_complements(&g), Some((0, 1, m[0][1])));
+    }
+
+    #[test]
+    fn threshold_game_pairs_complement() {
+        // Worked example: facilities 1 and 2 only create value together
+        // with 3, but pairs {1,3} and {2,3} directly cross the threshold —
+        // every pair interaction should be non-zero somewhere and the
+        // matrix symmetric.
+        let contrib = [100.0, 400.0, 800.0];
+        let g = FnGame::new(3, move |c: Coalition| {
+            let total: f64 = c.players().map(|p| contrib[p]).sum();
+            if total > 500.0 {
+                total
+            } else {
+                0.0
+            }
+        });
+        let m = interaction_matrix(&g);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..3 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        // {1,3} crossing the threshold is a strong complementarity.
+        assert!(m[0][2] > 0.0);
+    }
+
+    #[test]
+    fn substitutes_show_negative_interaction() {
+        // Two players each worth 5 alone but capped at 6 together:
+        // d({0,1}) = 6 − 10 = −4 ⇒ I(0,1) = −4.
+        let g = FnGame::new(2, |c: Coalition| match c.len() {
+            0 => 0.0,
+            1 => 5.0,
+            _ => 6.0,
+        });
+        let m = interaction_matrix(&g);
+        assert!((m[0][1] + 4.0).abs() < 1e-12);
+        assert!(strongest_complements(&g).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+#![deny(missing_docs)]
+
+//! Coalitional (transferable-utility) game engine.
+//!
+//! This crate implements the game-theoretic machinery of
+//! *"Federation of virtualized infrastructures: sharing the value of
+//! diversity"* (CoNEXT 2010): the Shapley value the paper proposes as its
+//! sharing mechanism (§3.2.2), the core used to reason about federation
+//! stability (§3.2.1), and the nucleolus it compares against (§3.2.3) —
+//! plus Banzhaf indices and Harsanyi dividends as additional diagnostics.
+//!
+//! The crate is model-agnostic: any type implementing [`CoalitionalGame`]
+//! (a player count plus a characteristic function) gets every solution
+//! concept. The federation model in `fedval-core` plugs in here; so do the
+//! classical oracle games in [`games`] used for validation.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fedval_coalition::{Coalition, FnGame, shapley_normalized};
+//!
+//! // The paper's §4.1 worked example: L = (100, 400, 800), threshold 500
+//! // (eq. 1's threshold is strict: utility is x^d only when x > l).
+//! let contrib = [100.0, 400.0, 800.0];
+//! let game = FnGame::new(3, move |c: Coalition| {
+//!     let total: f64 = c.players().map(|p| contrib[p]).sum();
+//!     if total > 500.0 { total } else { 0.0 }
+//! });
+//! let shares = shapley_normalized(&game);
+//! assert!((shares[1] - 2.0 / 13.0).abs() < 1e-12);
+//! ```
+
+mod balancedness;
+mod banzhaf;
+mod coalition;
+mod core_solution;
+mod dividends;
+mod game;
+pub mod games;
+mod interaction;
+mod nucleolus;
+mod owen;
+mod properties;
+mod shapley;
+mod stratified;
+mod tau;
+mod weighted;
+
+pub use balancedness::{balancedness, is_balanced, Balancedness};
+pub use banzhaf::{banzhaf, banzhaf_normalized, banzhaf_player};
+pub use coalition::{Coalition, PlayerId, Players, Subsets, MAX_PLAYERS};
+pub use core_solution::{
+    excess, is_core_nonempty, is_in_core, is_in_epsilon_core, least_core, LeastCore, CORE_TOL,
+};
+pub use dividends::{
+    harsanyi_dividends, shapley_from_dividends, top_synergies, values_from_dividends,
+};
+pub use game::{check_zero_normalized_empty, CachedGame, CoalitionalGame, FnGame, TableGame};
+pub use interaction::{interaction_matrix, strongest_complements};
+pub use nucleolus::nucleolus;
+pub use owen::{owen_value, owen_value_normalized, quotient_game};
+pub use properties::{
+    analyze, is_convex, is_essential, is_monotone, is_superadditive, GameProperties,
+};
+pub use shapley::{
+    shapley, shapley_monte_carlo, shapley_normalized, shapley_parallel, shapley_player,
+    MonteCarloShapley,
+};
+pub use stratified::{shapley_stratified, StratifiedShapley};
+pub use tau::{minimal_rights, tau_value, utopia_payoffs};
+pub use weighted::{weighted_shapley, weighted_shapley_normalized};

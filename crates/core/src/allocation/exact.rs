@@ -1,0 +1,273 @@
+//! Exhaustive reference solver for eq. 2 on tiny instances.
+//!
+//! Enumerates every admission count per class and every descending size
+//! vector (with Gale–Ryser pruning) and returns the true optimum. Its only
+//! purpose is validating the analytic optimizer in tests — complexity is
+//! exponential, so inputs are asserted small.
+
+use super::analytic::{ClassAllocation, ProfileSolution};
+use super::feasibility::is_realizable;
+use crate::experiment::Demand;
+use crate::location::CapacityProfile;
+
+/// Hard limits keeping the enumeration tractable.
+const MAX_LOCATIONS: u64 = 16;
+const MAX_EXPERIMENTS: u64 = 8;
+
+/// Solves eq. 2 by brute force.
+///
+/// Unlike the analytic path, classes may mix utility shapes; mixed
+/// `resources_per_location` is still unsupported (`r > 1` is scaled the
+/// same way the analytic solver does, and must be uniform).
+///
+/// **Caveat:** admission counts are capped at 8 per class, so the result
+/// is only the true optimum when no more than 8 experiments of a class
+/// can be useful (e.g. `total_slots ≤ 8` for threshold-0 concave demand).
+/// Validation tests generate instances within that envelope.
+///
+/// # Panics
+/// Panics if the instance exceeds the enumeration limits
+/// (`n_locations ≤ 16`, total experiments ≤ 8).
+pub fn solve_exact(profile: &CapacityProfile, demand: &Demand) -> ProfileSolution {
+    assert!(
+        profile.n_locations() <= MAX_LOCATIONS,
+        "exact solver limited to {MAX_LOCATIONS} locations"
+    );
+    let classes = &demand.components;
+    if classes.is_empty() || profile.n_locations() == 0 {
+        return ProfileSolution {
+            total_utility: 0.0,
+            per_class: vec![
+                ClassAllocation {
+                    admitted: 0,
+                    sizes: Vec::new()
+                };
+                classes.len()
+            ],
+        };
+    }
+    let r = classes[0].class.resources_per_location;
+    assert!(
+        classes.iter().all(|c| c.class.resources_per_location == r),
+        "exact solver requires uniform resources per location"
+    );
+    let scaled;
+    let profile = if r == 1 {
+        profile
+    } else {
+        scaled = CapacityProfile::from_groups(
+            profile
+                .groups()
+                .iter()
+                .map(|&(cap, count)| (cap / r, count))
+                .collect(),
+        );
+        &scaled
+    };
+
+    // Admission caps per class.
+    let caps: Vec<u64> = classes
+        .iter()
+        .map(|c| c.volume.cap(profile.total_slots()).min(MAX_EXPERIMENTS))
+        .collect();
+    assert!(
+        caps.iter().sum::<u64>() <= MAX_EXPERIMENTS * classes.len() as u64,
+        "exact solver experiment budget exceeded"
+    );
+
+    let mut best = ProfileSolution {
+        total_utility: 0.0,
+        per_class: vec![
+            ClassAllocation {
+                admitted: 0,
+                sizes: Vec::new()
+            };
+            classes.len()
+        ],
+    };
+
+    // Enumerate admission vectors (mixed radix).
+    let mut admissions = vec![0u64; classes.len()];
+    loop {
+        if admissions.iter().sum::<u64>() <= MAX_EXPERIMENTS {
+            enumerate_sizes(profile, demand, &admissions, &mut best);
+        }
+        let mut k = 0;
+        loop {
+            if k == classes.len() {
+                return best;
+            }
+            if admissions[k] < caps[k] {
+                admissions[k] += 1;
+                break;
+            }
+            admissions[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Enumerates per-experiment sizes for a fixed admission vector and updates
+/// `best` when a realizable assignment improves on it.
+fn enumerate_sizes(
+    profile: &CapacityProfile,
+    demand: &Demand,
+    admissions: &[u64],
+    best: &mut ProfileSolution,
+) {
+    // Flatten experiments: (class idx, lb, ub).
+    let mut experiments: Vec<(usize, u64, u64)> = Vec::new();
+    for (k, comp) in demand.components.iter().enumerate() {
+        let lb = comp.class.min_size();
+        let ub = comp.class.max_size(profile.n_locations());
+        for _ in 0..admissions[k] {
+            if ub < lb {
+                return; // class cannot be admitted at all
+            }
+            experiments.push((k, lb, ub));
+        }
+    }
+    let mut sizes = vec![0u64; experiments.len()];
+    recurse(profile, demand, &experiments, &mut sizes, 0, best);
+}
+
+fn recurse(
+    profile: &CapacityProfile,
+    demand: &Demand,
+    experiments: &[(usize, u64, u64)],
+    sizes: &mut Vec<u64>,
+    idx: usize,
+    best: &mut ProfileSolution,
+) {
+    if idx == experiments.len() {
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        if !is_realizable(&sorted, profile) {
+            return;
+        }
+        let utility: f64 = experiments
+            .iter()
+            .zip(sizes.iter())
+            .map(|(&(k, _, _), &x)| demand.components[k].class.utility_of(x))
+            .sum();
+        if utility > best.total_utility {
+            let mut per_class = vec![
+                ClassAllocation {
+                    admitted: 0,
+                    sizes: Vec::new()
+                };
+                demand.components.len()
+            ];
+            for (&(k, _, _), &x) in experiments.iter().zip(sizes.iter()) {
+                per_class[k].admitted += 1;
+                per_class[k].sizes.push(x);
+            }
+            for c in &mut per_class {
+                c.sizes.sort_unstable_by(|a, b| b.cmp(a));
+            }
+            *best = ProfileSolution {
+                total_utility: utility,
+                per_class,
+            };
+        }
+        return;
+    }
+    let (_, lb, ub) = experiments[idx];
+    for x in lb..=ub {
+        sizes[idx] = x;
+        // Prune: partial sums already infeasible.
+        let mut sorted: Vec<u64> = sizes[..=idx].to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        if is_realizable(&sorted, profile) {
+            recurse(profile, demand, experiments, sizes, idx + 1, best);
+        }
+    }
+    sizes[idx] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::analytic::solve;
+    use crate::experiment::{ExperimentClass, Volume};
+
+    fn profile(groups: &[(u64, u64)]) -> CapacityProfile {
+        CapacityProfile::from_groups(groups.to_vec())
+    }
+
+    #[test]
+    fn exact_matches_analytic_linear_single_class() {
+        for (groups, l, vol) in [
+            (&[(2u64, 4u64)][..], 1.0, Volume::CapacityFilling),
+            (&[(3, 2), (1, 5)][..], 2.0, Volume::CapacityFilling),
+            (&[(2, 3)][..], 0.0, Volume::Count(3)),
+            (&[(4, 2), (2, 2)][..], 3.0, Volume::Count(2)),
+        ] {
+            let p = profile(groups);
+            let demand = Demand::single(ExperimentClass::simple("x", l, 1.0), vol);
+            let exact = solve_exact(&p, &demand);
+            let fast = solve(&p, &demand).unwrap();
+            assert!(
+                (exact.total_utility - fast.total_utility).abs() < 1e-9,
+                "groups {groups:?} l={l} vol={vol:?}: exact {} vs analytic {}",
+                exact.total_utility,
+                fast.total_utility
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_analytic_concave_and_convex() {
+        for d in [0.5, 0.8, 1.2, 2.0] {
+            for groups in [&[(2u64, 4u64)][..], &[(3, 2), (1, 4)][..]] {
+                let p = profile(groups);
+                let demand = Demand::single(
+                    ExperimentClass::simple("x", 1.0, d),
+                    Volume::CapacityFilling,
+                );
+                let exact = solve_exact(&p, &demand);
+                let fast = solve(&p, &demand).unwrap();
+                assert!(
+                    (exact.total_utility - fast.total_utility).abs() < 1e-9,
+                    "d={d} groups {groups:?}: exact {} vs analytic {}",
+                    exact.total_utility,
+                    fast.total_utility
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_analytic_two_class_mixture() {
+        let p = profile(&[(2, 5), (1, 3)]);
+        let demand = Demand::mixture(
+            ExperimentClass::simple("a", 0.0, 1.0),
+            ExperimentClass::simple("b", 5.0, 1.0),
+            4,
+            0.5,
+        );
+        let exact = solve_exact(&p, &demand);
+        let fast = solve(&p, &demand).unwrap();
+        assert!((exact.total_utility - fast.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_handles_mixed_shapes() {
+        // Analytic refuses mixed d; exact handles it.
+        let p = profile(&[(2, 3)]);
+        let demand = Demand {
+            components: vec![
+                crate::experiment::DemandComponent {
+                    class: ExperimentClass::simple("a", 0.0, 0.5),
+                    volume: Volume::Count(2),
+                },
+                crate::experiment::DemandComponent {
+                    class: ExperimentClass::simple("b", 0.0, 2.0),
+                    volume: Volume::Count(1),
+                },
+            ],
+        };
+        let exact = solve_exact(&p, &demand);
+        assert!(exact.total_utility > 0.0);
+    }
+}

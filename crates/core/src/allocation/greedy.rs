@@ -1,0 +1,214 @@
+//! Greedy allocation heuristics — the "simple" policies the paper
+//! contrasts with optimal allocation.
+//!
+//! Two first-come-first-served heuristics:
+//!
+//! * **Max-diversity greedy**: each arriving experiment grabs *every*
+//!   location with residual capacity (PlanetLab users deploying slices on
+//!   all reachable nodes). Early arrivals over-consume diversity.
+//! * **Minimal greedy**: each arriving experiment takes exactly its
+//!   minimum admissible number of locations, preferring the
+//!   highest-residual-capacity locations.
+//!
+//! Both can be strictly worse than the optimum (`fedval-bench` quantifies
+//! the gap — the efficiency loss the paper attributes to naive policies).
+
+use super::analytic::{ClassAllocation, ProfileSolution};
+use crate::experiment::Demand;
+use crate::location::CapacityProfile;
+
+/// The greedy discipline to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyPolicy {
+    /// Take every location with residual capacity.
+    MaxDiversity,
+    /// Take exactly the minimum admissible number of locations.
+    Minimal,
+}
+
+/// Runs a greedy allocation: experiments arrive class-by-class in demand
+/// order and are served FCFS under `policy`. Returns the same structure as
+/// the optimizer for easy comparison.
+pub fn solve_greedy(
+    profile: &CapacityProfile,
+    demand: &Demand,
+    policy: GreedyPolicy,
+) -> ProfileSolution {
+    let classes = &demand.components;
+    let mut per_class: Vec<ClassAllocation> = classes
+        .iter()
+        .map(|_| ClassAllocation {
+            admitted: 0,
+            sizes: Vec::new(),
+        })
+        .collect();
+    if classes.is_empty() || profile.n_locations() == 0 {
+        return ProfileSolution {
+            total_utility: 0.0,
+            per_class,
+        };
+    }
+
+    // Residual capacity per location group, expanded to per-capacity-level
+    // counters: groups[(cap, count)] → vector of (residual, count).
+    let mut residual: Vec<(u64, u64)> = profile.groups().to_vec();
+    let mut total_utility = 0.0;
+
+    for (k, comp) in classes.iter().enumerate() {
+        let r = comp.class.resources_per_location;
+        let lb = comp.class.min_size();
+        let cap_count = comp.volume.cap(profile.total_slots());
+        for _ in 0..cap_count {
+            // Locations currently able to host this class (residual ≥ r).
+            let available: u64 = residual
+                .iter()
+                .filter(|&&(res, _)| res >= r)
+                .map(|&(_, count)| count)
+                .sum();
+            let want = match policy {
+                GreedyPolicy::MaxDiversity => comp.class.max_size(available),
+                GreedyPolicy::Minimal => lb,
+            };
+            if want < lb || want > available {
+                // Cannot serve any more experiments of this class.
+                break;
+            }
+            // Consume: take locations with the largest residual first.
+            let mut remaining = want;
+            residual.sort_unstable_by_key(|&(res, _)| std::cmp::Reverse(res));
+            let mut next_residual: Vec<(u64, u64)> = Vec::with_capacity(residual.len() + 1);
+            for &(res, count) in &residual {
+                if remaining > 0 && res >= r {
+                    let take = remaining.min(count);
+                    if take > 0 {
+                        next_residual.push((res - r, take));
+                    }
+                    if count > take {
+                        next_residual.push((res, count - take));
+                    }
+                    remaining -= take;
+                } else {
+                    next_residual.push((res, count));
+                }
+            }
+            debug_assert_eq!(remaining, 0);
+            residual = merge_groups(next_residual);
+            per_class[k].admitted += 1;
+            per_class[k].sizes.push(want);
+            total_utility += comp.class.utility_of(want);
+        }
+        per_class[k].sizes.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    ProfileSolution {
+        total_utility,
+        per_class,
+    }
+}
+
+fn merge_groups(mut groups: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    groups.retain(|&(res, count)| res > 0 && count > 0);
+    groups.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(groups.len());
+    for (res, count) in groups {
+        match merged.last_mut() {
+            Some(last) if last.0 == res => last.1 += count,
+            _ => merged.push((res, count)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::analytic::solve;
+    use crate::experiment::{ExperimentClass, Volume};
+
+    fn profile(groups: &[(u64, u64)]) -> CapacityProfile {
+        CapacityProfile::from_groups(groups.to_vec())
+    }
+
+    #[test]
+    fn max_diversity_greedy_wastes_capacity() {
+        // Fig. 8 setup intuition: caps (80×1, 20×2) locations... use a
+        // small analogue: 2 locations cap 3, 2 locations cap 1; l = 1
+        // (s_min = 2). Greedy exp 1 takes all 4; exp 2 takes remaining
+        // {3-cap} 2 locations; exp 3 takes 2 — then cap-1 locations dead.
+        let p = profile(&[(3, 2), (1, 2)]);
+        let demand = Demand::single(
+            ExperimentClass::simple("x", 1.0, 1.0),
+            Volume::CapacityFilling,
+        );
+        let greedy = solve_greedy(&p, &demand, GreedyPolicy::MaxDiversity);
+        let optimal = solve(&p, &demand).unwrap();
+        assert!(greedy.total_utility <= optimal.total_utility);
+        assert_eq!(optimal.total_utility, 8.0); // B(3) = 2·3 + 2·1 = 8
+        assert_eq!(greedy.total_utility, 8.0); // here greedy happens to tie
+    }
+
+    #[test]
+    fn minimal_greedy_underuses_diversity() {
+        // One experiment, threshold 2 (s_min = 3), 5 locations: minimal
+        // takes 3 (utility 3), optimal takes all 5.
+        let p = profile(&[(1, 5)]);
+        let demand = Demand::one_experiment(ExperimentClass::simple("x", 2.0, 1.0));
+        let minimal = solve_greedy(&p, &demand, GreedyPolicy::Minimal);
+        let optimal = solve(&p, &demand).unwrap();
+        assert_eq!(minimal.total_utility, 3.0);
+        assert_eq!(optimal.total_utility, 5.0);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal_linear() {
+        for groups in [&[(2u64, 4u64)][..], &[(3, 2), (1, 5)][..], &[(5, 1)][..]] {
+            for l in [0.0, 1.0, 3.0] {
+                let p = profile(groups);
+                let demand = Demand::single(
+                    ExperimentClass::simple("x", l, 1.0),
+                    Volume::CapacityFilling,
+                );
+                let optimal = solve(&p, &demand).unwrap().total_utility;
+                for policy in [GreedyPolicy::MaxDiversity, GreedyPolicy::Minimal] {
+                    let g = solve_greedy(&p, &demand, policy).total_utility;
+                    assert!(
+                        g <= optimal + 1e-9,
+                        "greedy {policy:?} beat optimal on {groups:?} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_starves_later_diversity_class() {
+        // Class A (l=0) arrives first and grabs everything; class B (l=2)
+        // is starved under MaxDiversity.
+        let p = profile(&[(1, 4)]);
+        let demand = Demand::mixture(
+            ExperimentClass::simple("a", 0.0, 1.0),
+            ExperimentClass::simple("b", 2.0, 1.0),
+            2,
+            0.5,
+        );
+        let greedy = solve_greedy(&p, &demand, GreedyPolicy::MaxDiversity);
+        assert_eq!(greedy.per_class[0].admitted, 1);
+        assert_eq!(greedy.per_class[1].admitted, 0, "B starved");
+        let optimal = solve(&p, &demand).unwrap();
+        assert!(optimal.total_utility >= greedy.total_utility);
+    }
+
+    #[test]
+    fn respects_resources_per_location() {
+        // r = 2 on capacity-3 locations: one serve leaves residual 1,
+        // insufficient for another r=2 sliver.
+        let p = profile(&[(3, 4)]);
+        let demand = Demand::single(
+            ExperimentClass::simple("x", 0.0, 1.0).with_resources(2),
+            Volume::CapacityFilling,
+        );
+        let g = solve_greedy(&p, &demand, GreedyPolicy::MaxDiversity);
+        assert_eq!(g.per_class[0].admitted, 1);
+        assert_eq!(g.per_class[0].sizes, vec![4]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Availability (`Tᵢ`, §2.1): facilities that are not always up.
+//!
+//! The paper's model gives each facility an availability `Tᵢ ∈ (0, 1]` —
+//! "the resources of each facility could be made available only for a
+//! subset of time" — and then fixes `Tᵢ = 1` for the analysis. We
+//! implement the general case: treating facility up-times as independent,
+//! the *expected* value of coalition `S` is
+//!
+//! ```text
+//! V_T(S) = Σ_{A ⊆ S}  Π_{i∈A} Tᵢ · Π_{j∈S∖A} (1 − Tⱼ) · V(A)
+//! ```
+//!
+//! [`AvailabilityGame`] wraps any base game with this expectation. One
+//! evaluation costs `O(2^|S|)` base evaluations, so materializing a full
+//! table costs `O(3^n)` — fine for the paper's federation sizes. Wrap the
+//! base game in a [`CachedGame`](fedval_coalition::CachedGame) (or use a
+//! [`TableGame`](fedval_coalition::TableGame)) if its characteristic
+//! function is expensive.
+
+use fedval_coalition::{Coalition, CoalitionalGame};
+
+/// Expectation of a base game over independent facility availability.
+pub struct AvailabilityGame<G> {
+    base: G,
+    availability: Vec<f64>,
+}
+
+impl<G: CoalitionalGame> AvailabilityGame<G> {
+    /// Wraps `base` with per-player availabilities.
+    ///
+    /// # Panics
+    /// Panics if the availability vector length differs from the player
+    /// count or any value is outside `(0, 1]`.
+    pub fn new(base: G, availability: Vec<f64>) -> AvailabilityGame<G> {
+        assert_eq!(availability.len(), base.n_players());
+        assert!(availability.iter().all(|&t| t > 0.0 && t <= 1.0));
+        AvailabilityGame { base, availability }
+    }
+
+    /// The wrapped base game.
+    pub fn base(&self) -> &G {
+        &self.base
+    }
+
+    /// The availability vector.
+    pub fn availability(&self) -> &[f64] {
+        &self.availability
+    }
+}
+
+impl<G: CoalitionalGame> CoalitionalGame for AvailabilityGame<G> {
+    fn n_players(&self) -> usize {
+        self.base.n_players()
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        let mut expected = 0.0;
+        for up in coalition.subsets() {
+            let mut prob = 1.0;
+            for p in coalition.players() {
+                prob *= if up.contains(p) {
+                    self.availability[p]
+                } else {
+                    1.0 - self.availability[p]
+                };
+            }
+            if prob > 0.0 {
+                expected += prob * self.base.value(up);
+            }
+        }
+        expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_coalition::{shapley_normalized, FnGame, TableGame};
+
+    fn threshold_game() -> FnGame<impl Fn(Coalition) -> f64 + Sync> {
+        let contrib = [100.0, 400.0, 800.0];
+        FnGame::new(3, move |c: Coalition| {
+            let total: f64 = c.players().map(|p| contrib[p]).sum();
+            if total > 500.0 {
+                total
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn full_availability_recovers_base_game() {
+        let g = AvailabilityGame::new(threshold_game(), vec![1.0; 3]);
+        for c in Coalition::all(3) {
+            assert!((g.value(c) - g.base().value(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_player_expectation() {
+        // V({i}) scales by Tᵢ for an additive base game.
+        let base = FnGame::new(2, |c: Coalition| {
+            c.players().map(|p| (p + 1) as f64 * 10.0).sum::<f64>()
+        });
+        let g = AvailabilityGame::new(base, vec![0.5, 0.25]);
+        assert!((g.value(Coalition::singleton(0)) - 5.0).abs() < 1e-12);
+        assert!((g.value(Coalition::singleton(1)) - 5.0).abs() < 1e-12);
+        // Independence: E[V({0,1})] = 0.5·10 + 0.25·20.
+        assert!((g.grand_value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_is_hand_checkable_on_threshold_game() {
+        // S = {2,3} with T = (·, 0.5, 0.5): states
+        //   both up (.25): V = 1200; only 3 up (.25): V = 800; else 0.
+        let g = AvailabilityGame::new(threshold_game(), vec![1.0, 0.5, 0.5]);
+        let v = g.value(Coalition::from_players([1, 2]));
+        assert!((v - (0.25 * 1200.0 + 0.25 * 800.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreliable_facilities_lose_shapley_share() {
+        // Note: making facility 3 flaky just rescales this particular game
+        // (every positive coalition contains 3), leaving normalized shares
+        // unchanged — so the interesting case is a flaky facility 2.
+        // Hand-computed: V_T({2,3}) = 1000, V_T(N) = 1100 ⇒
+        // ϕ₂ = (200 + 200 + 200)/6 = 100 ⇒ ϕ̂₂ = 1/11 < 2/13.
+        let reliable = TableGame::from_game(&AvailabilityGame::new(
+            threshold_game(),
+            vec![1.0, 1.0, 1.0],
+        ));
+        let flaky2 = TableGame::from_game(&AvailabilityGame::new(
+            threshold_game(),
+            vec![1.0, 0.5, 1.0],
+        ));
+        let phi_reliable = shapley_normalized(&reliable);
+        let phi_flaky = shapley_normalized(&flaky2);
+        assert!((phi_flaky[1] - 1.0 / 11.0).abs() < 1e-12);
+        assert!(
+            phi_flaky[1] < phi_reliable[1],
+            "flaky facility 2: {phi_flaky:?} vs {phi_reliable:?}"
+        );
+        // Shares remain a probability vector.
+        assert!((phi_flaky.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn availability_lowers_every_coalition_value_of_monotone_games() {
+        let g = AvailabilityGame::new(threshold_game(), vec![0.9, 0.8, 0.7]);
+        for c in Coalition::all(3) {
+            assert!(g.value(c) <= g.base().value(c) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_availability() {
+        let _ = AvailabilityGame::new(threshold_game(), vec![1.0, 1.0, 0.0]);
+    }
+}

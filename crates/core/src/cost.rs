@@ -1,0 +1,87 @@
+//! Provision and federation costs (§2.3.2).
+//!
+//! The paper models facility cost as `cᵢ(Lᵢ, Rᵢ, Tᵢ) = αLᵢ + βRᵢ + γTᵢ`
+//! (usually `α < β < γ`) plus a fixed federation cost `c_F` for the
+//! administrative/technical/legal overhead of federating. The paper's
+//! analysis ignores provision costs (pre-federation sunk investments); we
+//! implement them so the net-benefit question — is federating worth it at
+//! all? — can be answered explicitly.
+
+use crate::facility::Facility;
+use serde::{Deserialize, Serialize};
+
+/// Linear cost model `c = α·L + β·R̄ + γ·T + fixed`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost per distinct location covered (α) — geographic expansion is
+    /// the hardest attribute to buy, but each unit is cheap to run.
+    pub alpha: f64,
+    /// Cost per unit of mean per-location capacity (β).
+    pub beta: f64,
+    /// Cost of availability (γ, scaled by `Tᵢ`).
+    pub gamma: f64,
+    /// Fixed federation cost `c_F`, charged once per participating
+    /// facility when a federation forms.
+    pub federation_fixed: f64,
+}
+
+impl CostModel {
+    /// The paper's qualitative ordering `α < β < γ` with zero federation
+    /// overhead; a sane default for examples.
+    pub fn paper_default() -> CostModel {
+        CostModel {
+            alpha: 1.0,
+            beta: 2.0,
+            gamma: 4.0,
+            federation_fixed: 0.0,
+        }
+    }
+
+    /// Provision cost `cᵢ(Lᵢ, R̄ᵢ, Tᵢ)` of a facility (without the
+    /// federation overhead).
+    pub fn provision_cost(&self, facility: &Facility) -> f64 {
+        let l = facility.n_locations() as f64;
+        let r_mean = if facility.n_locations() == 0 {
+            0.0
+        } else {
+            facility.total_slots() as f64 / l
+        };
+        self.alpha * l + self.beta * r_mean + self.gamma * facility.availability
+    }
+
+    /// Net benefit of federating for one facility: its value share minus
+    /// the federation overhead, compared with its stand-alone value.
+    /// Positive means federating is individually rational *after costs*.
+    pub fn net_federation_benefit(&self, share_value: f64, standalone_value: f64) -> f64 {
+        share_value - self.federation_fixed - standalone_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facility::Facility;
+
+    #[test]
+    fn provision_cost_components() {
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 10.0,
+            gamma: 100.0,
+            federation_fixed: 0.0,
+        };
+        let f = Facility::uniform("x", 0, 50, 4).with_availability(0.5);
+        // 1·50 + 10·4 + 100·0.5 = 140.
+        assert!((m.provision_cost(&f) - 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_benefit_sign() {
+        let m = CostModel {
+            federation_fixed: 10.0,
+            ..CostModel::paper_default()
+        };
+        assert!(m.net_federation_benefit(120.0, 100.0) > 0.0);
+        assert!(m.net_federation_benefit(105.0, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Resource providers — the paper's *facilities* (§2.1).
+
+use crate::location::{CapacityProfile, LocationId, LocationOffer};
+use serde::{Deserialize, Serialize};
+
+/// A facility (resource provider): a testbed authority such as PlanetLab
+/// Central, PlanetLab Europe, or PlanetLab Japan.
+///
+/// The model characterizes a facility by the locations it covers and the
+/// capacity it provides at each (`R_{il}`), its availability `Tᵢ ∈ (0, 1]`
+/// (the paper's analysis fixes `Tᵢ = 1`), and its affiliated users `Uᵢ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Facility {
+    /// Human-readable name (e.g. "PLE").
+    pub name: String,
+    /// Locations covered and capacity at each.
+    pub offer: LocationOffer,
+    /// Fraction of time the resources are available (`Tᵢ`).
+    pub availability: f64,
+    /// Number of affiliated users (`Uᵢ`); relevant in the P2P scenario.
+    pub users: u64,
+}
+
+impl Facility {
+    /// Creates a facility with full availability and no affiliated users.
+    pub fn new(name: impl Into<String>, offer: LocationOffer) -> Facility {
+        Facility {
+            name: name.into(),
+            offer,
+            availability: 1.0,
+            users: 0,
+        }
+    }
+
+    /// Convenience constructor for the paper's uniform setups: `n_locations`
+    /// contiguous locations starting at `first_location`, capacity `r` each.
+    pub fn uniform(
+        name: impl Into<String>,
+        first_location: LocationId,
+        n_locations: u32,
+        r: u64,
+    ) -> Facility {
+        Facility::new(
+            name,
+            LocationOffer::contiguous(first_location, n_locations, r),
+        )
+    }
+
+    /// Sets availability `Tᵢ` (builder style).
+    ///
+    /// # Panics
+    /// Panics unless `0 < availability ≤ 1`.
+    pub fn with_availability(mut self, availability: f64) -> Facility {
+        assert!(availability > 0.0 && availability <= 1.0);
+        self.availability = availability;
+        self
+    }
+
+    /// Sets the affiliated-user count `Uᵢ` (builder style).
+    pub fn with_users(mut self, users: u64) -> Facility {
+        self.users = users;
+        self
+    }
+
+    /// The paper's diversity contribution `Lᵢ = |Lᵢ|`.
+    pub fn n_locations(&self) -> usize {
+        self.offer.n_locations()
+    }
+
+    /// Total slots contributed (`Lᵢ·Rᵢ` in the uniform case).
+    pub fn total_slots(&self) -> u64 {
+        self.offer.total_slots()
+    }
+
+    /// This facility's stand-alone capacity profile.
+    pub fn profile(&self) -> CapacityProfile {
+        CapacityProfile::from_offer(&self.offer)
+    }
+}
+
+/// Builds the joint capacity profile of a set of facilities, summing
+/// capacity at overlapping locations.
+pub fn coalition_profile<'a, I: IntoIterator<Item = &'a Facility>>(
+    facilities: I,
+) -> CapacityProfile {
+    let merged = LocationOffer::merge(facilities.into_iter().map(|f| &f.offer));
+    CapacityProfile::from_offer(&merged)
+}
+
+/// The three-facility configuration used throughout the paper's numerical
+/// analysis (§4): `L = (100, 400, 800)` disjoint locations with uniform
+/// per-location capacities `r = (r₁, r₂, r₃)`.
+pub fn paper_facilities(r: [u64; 3]) -> Vec<Facility> {
+    paper_facilities_with_locations([100, 400, 800], r)
+}
+
+/// Like [`paper_facilities`] but with custom location counts.
+pub fn paper_facilities_with_locations(l: [u32; 3], r: [u64; 3]) -> Vec<Facility> {
+    let names = ["facility-1", "facility-2", "facility-3"];
+    let mut start: LocationId = 0;
+    names
+        .iter()
+        .zip(l)
+        .zip(r)
+        .map(|((name, li), ri)| {
+            let f = Facility::uniform(*name, start, li, ri);
+            start += li;
+            f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_dimensions() {
+        let fs = paper_facilities([1, 1, 1]);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].n_locations(), 100);
+        assert_eq!(fs[1].n_locations(), 400);
+        assert_eq!(fs[2].n_locations(), 800);
+        let profile = coalition_profile(&fs);
+        assert_eq!(profile.n_locations(), 1300);
+        assert_eq!(profile.total_slots(), 1300);
+    }
+
+    #[test]
+    fn fig6_setup_has_equal_products() {
+        // Fig. 6: R = (80, 20, 10) ⇒ Lᵢ·Rᵢ = 8000 for every facility.
+        let fs = paper_facilities([80, 20, 10]);
+        for f in &fs {
+            assert_eq!(f.total_slots(), 8000);
+        }
+    }
+
+    #[test]
+    fn coalition_profile_merges_disjoint_sets() {
+        let fs = paper_facilities([80, 20, 10]);
+        let p12 = coalition_profile([&fs[0], &fs[1]]);
+        assert_eq!(p12.groups(), &[(20, 400), (80, 100)]);
+        assert_eq!(p12.usable_slots(40), 100 * 40 + 400 * 20);
+    }
+
+    #[test]
+    fn overlapping_facilities_add_capacity() {
+        let a = Facility::uniform("a", 0, 10, 2);
+        let b = Facility::uniform("b", 5, 10, 3); // 5 shared locations
+        let p = coalition_profile([&a, &b]);
+        assert_eq!(p.n_locations(), 15);
+        assert_eq!(p.total_slots(), 20 + 30);
+        assert_eq!(p.max_capacity(), 5);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let f = Facility::uniform("x", 0, 2, 1)
+            .with_availability(0.5)
+            .with_users(42);
+        assert_eq!(f.availability, 0.5);
+        assert_eq!(f.users, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn availability_must_be_positive() {
+        let _ = Facility::uniform("x", 0, 1, 1).with_availability(0.0);
+    }
+}

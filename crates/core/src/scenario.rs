@@ -1,0 +1,164 @@
+//! High-level scenario façade tying the model together.
+
+use crate::cost::CostModel;
+use crate::experiment::Demand;
+use crate::facility::Facility;
+use crate::sharing;
+use crate::value::FederationGame;
+use fedval_coalition::{
+    analyze, is_core_nonempty, least_core, nucleolus, Coalition, CoalitionalGame, GameProperties,
+    TableGame,
+};
+
+/// A complete federation scenario: facilities + demand (+ cost model),
+/// with every solution concept one call away.
+///
+/// The coalition-value table is materialized lazily on first use and
+/// reused by every subsequent query.
+pub struct FederationScenario {
+    facilities: Vec<Facility>,
+    demand: Demand,
+    cost: CostModel,
+    table: std::cell::OnceCell<TableGame>,
+}
+
+impl FederationScenario {
+    /// Creates a scenario with the default cost model.
+    pub fn new(facilities: Vec<Facility>, demand: Demand) -> FederationScenario {
+        FederationScenario {
+            facilities,
+            demand,
+            cost: CostModel::paper_default(),
+            table: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Overrides the cost model (builder style).
+    pub fn with_cost(mut self, cost: CostModel) -> FederationScenario {
+        self.cost = cost;
+        self
+    }
+
+    /// The facilities, in player order.
+    pub fn facilities(&self) -> &[Facility] {
+        &self.facilities
+    }
+
+    /// The demand profile.
+    pub fn demand(&self) -> &Demand {
+        &self.demand
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The materialized coalition-value table.
+    pub fn game(&self) -> &TableGame {
+        self.table
+            .get_or_init(|| FederationGame::new(&self.facilities, &self.demand).table())
+    }
+
+    /// `V(S)` for an explicit coalition.
+    pub fn value(&self, coalition: Coalition) -> f64 {
+        self.game().value(coalition)
+    }
+
+    /// `V(N)` — total value to share.
+    pub fn grand_value(&self) -> f64 {
+        self.game().grand_value()
+    }
+
+    /// Normalized Shapley shares ϕ̂ (eq. 5).
+    pub fn shapley_shares(&self) -> Vec<f64> {
+        sharing::shapley_hat_of(self.game())
+    }
+
+    /// Proportional (contribution-based) shares π̂ (eq. 6).
+    pub fn proportional_shares(&self) -> Vec<f64> {
+        sharing::proportional_shares(&self.facilities)
+    }
+
+    /// Consumption-based shares ρ̂ (eq. 7).
+    pub fn consumption_shares(&self) -> Vec<f64> {
+        sharing::consumption_shares(&self.facilities, &self.demand)
+    }
+
+    /// Nucleolus shares (allocation / V(N)).
+    pub fn nucleolus_shares(&self) -> Vec<f64> {
+        let grand = self.grand_value();
+        if grand.abs() < 1e-12 {
+            return vec![0.0; self.facilities.len()];
+        }
+        nucleolus(self.game())
+            .into_iter()
+            .map(|v| v / grand)
+            .collect()
+    }
+
+    /// Structural properties of the induced game (superadditivity,
+    /// convexity, …) — §3.2.1's core-existence diagnostics.
+    pub fn properties(&self) -> GameProperties {
+        analyze(self.game(), 1e-7)
+    }
+
+    /// Whether the core is non-empty.
+    pub fn core_nonempty(&self) -> bool {
+        is_core_nonempty(self.game())
+    }
+
+    /// Least-core relaxation ε\* and one least-core allocation.
+    pub fn least_core(&self) -> fedval_coalition::LeastCore {
+        least_core(self.game())
+    }
+
+    /// Monetary payoff vector for a normalized share vector.
+    pub fn payoffs(&self, shares: &[f64]) -> Vec<f64> {
+        let v = self.grand_value();
+        shares.iter().map(|s| s * v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentClass;
+    use crate::facility::paper_facilities;
+
+    fn worked_example() -> FederationScenario {
+        FederationScenario::new(
+            paper_facilities([1, 1, 1]),
+            Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0)),
+        )
+    }
+
+    #[test]
+    fn scenario_round_trip() {
+        let s = worked_example();
+        assert_eq!(s.grand_value(), 1300.0);
+        let phi = s.shapley_shares();
+        assert!((phi[1] - 2.0 / 13.0).abs() < 1e-12);
+        let pi = s.proportional_shares();
+        assert!((pi[1] - 4.0 / 13.0).abs() < 1e-12);
+        let payoffs = s.payoffs(&phi);
+        assert!((payoffs.iter().sum::<f64>() - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn properties_of_worked_example() {
+        let s = worked_example();
+        let p = s.properties();
+        assert!(p.superadditive);
+        assert!(p.monotone);
+        assert!(p.essential);
+    }
+
+    #[test]
+    fn table_is_cached() {
+        let s = worked_example();
+        let a = s.game() as *const _;
+        let b = s.game() as *const _;
+        assert_eq!(a, b);
+    }
+}

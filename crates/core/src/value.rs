@@ -1,0 +1,129 @@
+//! The federation game: facilities + demand → a coalitional game (§3).
+//!
+//! In the commercial scenario the value of a coalition `S` is the maximum
+//! total user utility its pooled infrastructure can generate (eq. 2), with
+//! profit `P = µ·ΣU`; since µ only rescales every sharing vector we take
+//! µ = 1 as the paper does in §4.
+
+use crate::allocation::{solve, ProfileSolution, SolveError};
+use crate::experiment::Demand;
+use crate::facility::{coalition_profile, Facility};
+use fedval_coalition::{Coalition, CoalitionalGame, TableGame};
+
+/// The coalitional game induced by a set of facilities facing a demand
+/// profile (commercial scenario).
+///
+/// `value(S)` runs the allocation optimizer on the coalition's merged
+/// capacity profile. For repeated solution-concept computations, call
+/// [`FederationGame::table`] once and use the materialized game.
+pub struct FederationGame<'a> {
+    facilities: &'a [Facility],
+    demand: &'a Demand,
+}
+
+impl<'a> FederationGame<'a> {
+    /// Creates the game.
+    ///
+    /// # Panics
+    /// Panics if there are no facilities or more than 64.
+    pub fn new(facilities: &'a [Facility], demand: &'a Demand) -> FederationGame<'a> {
+        assert!(!facilities.is_empty(), "need at least one facility");
+        assert!(facilities.len() <= 64, "at most 64 facilities");
+        FederationGame { facilities, demand }
+    }
+
+    /// The facilities (players), in player-id order.
+    pub fn facilities(&self) -> &[Facility] {
+        self.facilities
+    }
+
+    /// The demand profile.
+    pub fn demand(&self) -> &Demand {
+        self.demand
+    }
+
+    /// Full allocation solution for a coalition (not just its value).
+    pub fn solve_coalition(&self, coalition: Coalition) -> Result<ProfileSolution, SolveError> {
+        let members: Vec<&Facility> = coalition.players().map(|p| &self.facilities[p]).collect();
+        let profile = coalition_profile(members);
+        solve(&profile, self.demand)
+    }
+
+    /// Materializes all `2^n` coalition values into a [`TableGame`].
+    pub fn table(&self) -> TableGame {
+        TableGame::from_game(self)
+    }
+}
+
+impl CoalitionalGame for FederationGame<'_> {
+    fn n_players(&self) -> usize {
+        self.facilities.len()
+    }
+
+    /// `V(S)` — the optimal total utility of coalition `S`.
+    ///
+    /// # Panics
+    /// Panics if the demand profile is outside the analytic optimizer's
+    /// supported cases (see [`SolveError`]); validate demand up front with
+    /// [`FederationGame::solve_coalition`].
+    fn value(&self, coalition: Coalition) -> f64 {
+        self.solve_coalition(coalition)
+            .expect("demand not supported by analytic optimizer")
+            .total_utility
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentClass;
+    use crate::facility::paper_facilities;
+    use fedval_coalition::{shapley_normalized, Coalition};
+
+    #[test]
+    fn worked_example_values_and_shapley() {
+        // §4.1: single experiment, l = 500, d = 1, L = (100, 400, 800).
+        let facilities = paper_facilities([1, 1, 1]);
+        let demand = Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0));
+        let game = FederationGame::new(&facilities, &demand);
+
+        assert_eq!(game.value(Coalition::singleton(0)), 0.0);
+        assert_eq!(game.value(Coalition::singleton(1)), 0.0);
+        assert_eq!(game.value(Coalition::singleton(2)), 800.0);
+        assert_eq!(game.value(Coalition::from_players([0, 1])), 0.0); // strict
+        assert_eq!(game.value(Coalition::from_players([0, 2])), 900.0);
+        assert_eq!(game.value(Coalition::from_players([1, 2])), 1200.0);
+        assert_eq!(game.grand_value(), 1300.0);
+
+        let table = game.table();
+        let phi_hat = shapley_normalized(&table);
+        assert!((phi_hat[1] - 2.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_shares_are_proportional() {
+        // Paper: "for l = 0, each ϕ̂ᵢ and π̂ᵢ are equal".
+        let facilities = paper_facilities([1, 1, 1]);
+        let demand = Demand::one_experiment(ExperimentClass::simple("e", 0.0, 1.0));
+        let game = FederationGame::new(&facilities, &demand);
+        let phi_hat = shapley_normalized(&game.table());
+        assert!((phi_hat[0] - 100.0 / 1300.0).abs() < 1e-9);
+        assert!((phi_hat[1] - 400.0 / 1300.0).abs() < 1e-9);
+        assert!((phi_hat[2] - 800.0 / 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_game_values_with_resources() {
+        // Fig. 6 at l = 299: R = (80, 20, 10). Checked against DESIGN.md's
+        // derivation for coalition {1,2}: V = 12000.
+        let facilities = paper_facilities([80, 20, 10]);
+        let demand = Demand::capacity_filling(ExperimentClass::simple("e", 299.0, 1.0));
+        let game = FederationGame::new(&facilities, &demand);
+        assert_eq!(game.value(Coalition::from_players([0, 1])), 12_000.0);
+        // Facility 1 alone: only 100 locations < 300 required ⇒ 0.
+        assert_eq!(game.value(Coalition::singleton(0)), 0.0);
+        // Facility 3 alone: 800 locations, cap 10 ⇒ B(10) = 8000 (m=10,
+        // sizes 800 each ≥ 300 ✓).
+        assert_eq!(game.value(Coalition::singleton(2)), 8000.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The event calendar and simulation clock.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event: fires at `time`, carrying `payload`.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        // Ties broken by insertion order (seq) for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must be finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+///
+/// Caller-driven: `schedule` events, then drain them in time order with
+/// [`Simulator::next_event`], scheduling follow-ups as you go. Same-time
+/// events fire in scheduling order, making runs reproducible.
+pub struct Simulator<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator at time 0.
+    pub fn new() -> Simulator<E> {
+        Simulator {
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the time of the last delivered event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is non-finite or in the past.
+    pub fn schedule_at(&mut self, at: f64, payload: E) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
+        self.queue.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a `delay` from the current time.
+    pub fn schedule(&mut self, delay: f64, payload: E) {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Delivers the next event, advancing the clock. `None` when the
+    /// calendar is empty.
+    pub fn next_event(&mut self) -> Option<(f64, E)> {
+        let ev = self.queue.pop()?;
+        self.now = ev.time;
+        self.processed += 1;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Peeks at the next event time without delivering.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.queue.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(3.0, "c");
+        sim.schedule_at(1.0, "a");
+        sim.schedule_at(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| sim.next_event().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Simulator::new();
+        for i in 0..10 {
+            sim.schedule_at(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| sim.next_event().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(2.5, ());
+        assert_eq!(sim.now(), 0.0);
+        assert_eq!(sim.peek_time(), Some(2.5));
+        let (t, _) = sim.next_event().unwrap();
+        assert_eq!(t, 2.5);
+        assert_eq!(sim.now(), 2.5);
+        sim.schedule(1.0, ());
+        let (t2, _) = sim.next_event().unwrap();
+        assert_eq!(t2, 3.5);
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_past_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(2.0, ());
+        sim.next_event();
+        sim.schedule_at(1.0, ());
+    }
+
+    #[test]
+    fn empty_calendar_returns_none() {
+        let mut sim: Simulator<()> = Simulator::new();
+        assert!(sim.next_event().is_none());
+        assert_eq!(sim.pending(), 0);
+    }
+}

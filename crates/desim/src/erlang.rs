@@ -1,0 +1,73 @@
+//! Loss-system analytics: the Erlang-B blocking formula.
+//!
+//! The paper's future-work pointer (§6) is a loss-network formulation à la
+//! Paschalidis–Liu; Erlang B is its single-link kernel and serves as the
+//! analytical baseline the simulator is validated against.
+
+/// Erlang-B blocking probability for offered load `a` (Erlang) and `c`
+/// servers, computed with the numerically stable recurrence
+/// `B(0) = 1, B(k) = a·B(k−1) / (k + a·B(k−1))`.
+pub fn erlang_b(a: f64, c: usize) -> f64 {
+    assert!(a >= 0.0 && a.is_finite());
+    if a == 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Offered load (Erlang) of a Poisson arrival stream with rate λ and mean
+/// holding time `t̄`.
+pub fn offered_load(lambda: f64, mean_holding: f64) -> f64 {
+    assert!(lambda >= 0.0 && mean_holding >= 0.0);
+    lambda * mean_holding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // Classic: a = 2 Erlang, c = 4 → B ≈ 0.0952 (2/21).
+        assert!((erlang_b(2.0, 4) - 2.0 / 21.0).abs() < 1e-12);
+        // a = 1, c = 1 → B = 1/2.
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonicity() {
+        // More servers → less blocking; more load → more blocking.
+        for c in 1..30 {
+            assert!(erlang_b(10.0, c) > erlang_b(10.0, c + 1));
+        }
+        for a in 1..20 {
+            assert!(erlang_b(a as f64, 10) < erlang_b((a + 1) as f64, 10));
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(erlang_b(0.0, 5), 0.0);
+        assert_eq!(erlang_b(7.5, 0), 1.0); // no servers: everything blocked
+        assert!(erlang_b(1e6, 10) > 0.999);
+    }
+
+    #[test]
+    fn offered_load_is_product() {
+        assert!((offered_load(5.0, 0.4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplexing_gain() {
+        // The federation argument in miniature: two separate systems with
+        // a = 4, c = 5 each block more than one pooled system with a = 8,
+        // c = 10 — statistical multiplexing.
+        let separate = erlang_b(4.0, 5);
+        let pooled = erlang_b(8.0, 10);
+        assert!(pooled < separate);
+    }
+}

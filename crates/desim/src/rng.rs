@@ -1,0 +1,213 @@
+//! Seeded randomness and the distributions the workload models need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulation RNG: a seeded `StdRng` so every run is reproducible.
+pub struct SimRng(StdRng);
+
+impl SimRng {
+    /// Creates a deterministic stream from a seed.
+    pub fn seed_from(seed: u64) -> SimRng {
+        SimRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.0.random_range(0..n)
+    }
+
+    /// Derives an independent child stream (for per-entity streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng(StdRng::seed_from_u64(self.0.random()))
+    }
+}
+
+/// A sampleable distribution over non-negative reals.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution's mean.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution — memoryless holding times / interarrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// From a rate λ (> 0); mean is `1/λ`.
+    pub fn with_rate(rate: f64) -> Exponential {
+        assert!(rate > 0.0 && rate.is_finite());
+        Exponential { rate }
+    }
+
+    /// From a mean (> 0).
+    pub fn with_mean(mean: f64) -> Exponential {
+        Exponential::with_rate(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; guard against ln(0).
+        let u = 1.0 - rng.uniform01();
+        -u.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Point mass — deterministic holding times.
+#[derive(Debug, Clone, Copy)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// A constant sample value (≥ 0).
+    pub fn new(value: f64) -> Deterministic {
+        assert!(value >= 0.0 && value.is_finite());
+        Deterministic { value }
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Pareto (heavy-tailed) distribution — long-running experiment sessions.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Pareto with minimum `scale` and tail index `shape` (> 1 so the mean
+    /// exists).
+    pub fn new(scale: f64, shape: f64) -> Pareto {
+        assert!(scale > 0.0 && shape > 1.0);
+        Pareto { scale, shape }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.uniform01();
+        self.scale / u.powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * self.shape / (self.shape - 1.0)
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64) -> Uniform {
+        assert!(lo < hi);
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.uniform01()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Distribution>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(3.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_mean_converges() {
+        let d = Pareto::new(1.0, 3.0);
+        let m = sample_mean(&d, 400_000, 2);
+        assert!((m - d.mean()).abs() < 0.05, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn uniform_mean_and_range() {
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 100_000, 4) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(1.5);
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(d.sample(&mut rng), 1.5);
+        assert_eq!(d.mean(), 1.5);
+    }
+
+    #[test]
+    fn seeding_is_reproducible_and_forks_differ() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        assert_eq!(a.uniform01(), b.uniform01());
+        let mut fork = a.fork();
+        // The fork must diverge from the parent's continued stream.
+        assert_ne!(fork.uniform01(), b.uniform01());
+    }
+
+    #[test]
+    fn samples_are_nonnegative() {
+        let mut rng = SimRng::seed_from(11);
+        let e = Exponential::with_rate(2.0);
+        let p = Pareto::new(0.5, 2.0);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+            assert!(p.sample(&mut rng) >= 0.5);
+        }
+    }
+}

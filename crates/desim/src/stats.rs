@@ -1,0 +1,313 @@
+//! Simulation statistics: time-weighted averages, counters, and running
+//! moments.
+
+/// Time-weighted average of a piecewise-constant signal (e.g. "slots busy").
+///
+/// Record every change with [`TimeWeighted::record`]; the average weights
+/// each value by how long it was held.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: f64,
+    last_value: f64,
+    weighted_sum: f64,
+    start_time: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `time` with an initial `value`.
+    pub fn new(time: f64, value: f64) -> TimeWeighted {
+        TimeWeighted {
+            last_time: time,
+            last_value: value,
+            weighted_sum: 0.0,
+            start_time: time,
+        }
+    }
+
+    /// Records that the signal changed to `value` at `time`.
+    ///
+    /// # Panics
+    /// Panics if time goes backwards.
+    pub fn record(&mut self, time: f64, value: f64) {
+        assert!(time >= self.last_time, "time must be monotone");
+        self.weighted_sum += self.last_value * (time - self.last_time);
+        self.last_time = time;
+        self.last_value = value;
+    }
+
+    /// The time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: f64) -> f64 {
+        assert!(now >= self.last_time);
+        let total = self.weighted_sum + self.last_value * (now - self.last_time);
+        let span = now - self.start_time;
+        if span <= 0.0 {
+            self.last_value
+        } else {
+            total / span
+        }
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// A simple event counter with rate computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Zero counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn bump(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// The count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per unit time over a span.
+    pub fn rate(&self, span: f64) -> f64 {
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / span
+        }
+    }
+}
+
+/// Welford's online mean/variance, for confidence intervals over
+/// replications.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_square_wave() {
+        // Value 0 on [0,1), 10 on [1,3), 0 on [3,4): mean = 20/4 = 5.
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.record(1.0, 10.0);
+        tw.record(3.0, 0.0);
+        assert!((tw.mean(4.0) - 5.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_constant_signal() {
+        let mut tw = TimeWeighted::new(2.0, 7.0);
+        tw.record(5.0, 7.0);
+        assert!((tw.mean(10.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.bump();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        assert!((c.rate(5.0) - 2.0).abs() < 1e-12);
+        assert_eq!(c.rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert!(w.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn welford_degenerate_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output: feed a long
+/// run's observations, split into `n_batches` contiguous batches, and
+/// read a mean with a confidence interval that accounts for serial
+/// correlation (the standard DES output-analysis method).
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    observations: Vec<f64>,
+    n_batches: usize,
+}
+
+impl BatchMeans {
+    /// Creates an estimator that will split into `n_batches` (≥ 2).
+    ///
+    /// # Panics
+    /// Panics if fewer than two batches are requested.
+    pub fn new(n_batches: usize) -> BatchMeans {
+        assert!(n_batches >= 2, "need at least two batches");
+        BatchMeans {
+            observations: Vec::new(),
+            n_batches,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.observations.push(x);
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// `(mean, ci95 half-width)` from the batch means, or `None` when
+    /// there are not enough observations for one point per batch.
+    pub fn estimate(&self) -> Option<(f64, f64)> {
+        let per_batch = self.observations.len() / self.n_batches;
+        if per_batch == 0 {
+            return None;
+        }
+        let mut batches = Welford::new();
+        for b in 0..self.n_batches {
+            let chunk = &self.observations[b * per_batch..(b + 1) * per_batch];
+            let mean: f64 = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            batches.push(mean);
+        }
+        Some((batches.mean(), batches.ci95_half_width()))
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batch_means_recover_iid_mean() {
+        let mut bm = BatchMeans::new(10);
+        // Deterministic pseudo-random stream around mean 5.
+        let mut state = 1u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 40) as f64 / (1u64 << 24) as f64;
+            bm.push(4.0 + 2.0 * u);
+        }
+        let (mean, half) = bm.estimate().unwrap();
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!(half > 0.0 && half < 0.1);
+    }
+
+    #[test]
+    fn too_few_observations_yield_none() {
+        let mut bm = BatchMeans::new(4);
+        bm.push(1.0);
+        bm.push(2.0);
+        assert!(bm.estimate().is_none());
+        assert_eq!(bm.len(), 2);
+        assert!(!bm.is_empty());
+    }
+
+    #[test]
+    fn correlated_streams_widen_the_interval() {
+        // AR(1)-ish stream: batch means must report a wider CI than the
+        // naive iid CI over the same data.
+        let mut bm = BatchMeans::new(10);
+        let mut naive = Welford::new();
+        let mut x = 0.0f64;
+        let mut state = 7u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
+            x = 0.95 * x + u;
+            bm.push(x);
+            naive.push(x);
+        }
+        let (_, batch_half) = bm.estimate().unwrap();
+        let naive_half = naive.ci95_half_width();
+        assert!(
+            batch_half > naive_half,
+            "batch {batch_half} vs naive {naive_half}"
+        );
+    }
+}

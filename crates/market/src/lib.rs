@@ -1,0 +1,29 @@
+#![deny(missing_docs)]
+
+//! Market-based allocation baselines — the §5 comparators, implemented.
+//!
+//! The paper positions its Shapley-value proposal against two families of
+//! market mechanisms from the literature:
+//!
+//! * **Bellagio** (Young et al. 2004): a combinatorial auction over
+//!   PlanetLab resources — [`combinatorial`] implements a sealed-bid,
+//!   first-price variant with greedy winner determination over
+//!   diversity bundles.
+//! * **GridEcon** (Altmann et al. 2008): a spot market trading resource
+//!   slots by double auction — [`double_auction`] implements a
+//!   uniform-price clearing over the facilities' slot supply.
+//!
+//! The paper's critique is that with such mechanisms "profit between
+//! independent organizations is shared implicitly through the market
+//! ignoring the possible complementarities in the valuation of the
+//! users". These implementations make the critique executable: both
+//! mechanisms pay facilities (approximately) by the *slots* they sell,
+//! not by the *pivotality of their diversity*, so their induced revenue
+//! shares track π̂ (eq. 6) rather than ϕ̂ (eq. 5) — quantified by the
+//! tests and the `market_vs_shapley` comparisons in the bench suite.
+
+pub mod combinatorial;
+pub mod double_auction;
+
+pub use combinatorial::{run_combinatorial_auction, AuctionOutcome, Bid};
+pub use double_auction::{clear_double_auction, Ask, MarketOutcome, Order};

@@ -1,0 +1,142 @@
+//! Human-readable policy reports for federation organizers.
+
+use crate::compare::{compare_schemes, SchemeAssessment};
+use crate::scheme::SharingScheme;
+use fedval_core::FederationScenario;
+use std::fmt::Write as _;
+
+/// A rendered policy report: scenario diagnostics plus a scheme table.
+#[derive(Debug, Clone)]
+pub struct PolicyReport {
+    /// Grand-coalition value `V(N)`.
+    pub grand_value: f64,
+    /// Whether the core is non-empty (grand coalition stable at all).
+    pub core_nonempty: bool,
+    /// Structural game properties.
+    pub superadditive: bool,
+    /// Convexity (⇒ core non-empty, Shapley in core).
+    pub convex: bool,
+    /// Per-scheme assessments.
+    pub assessments: Vec<SchemeAssessment>,
+}
+
+/// Builds the report for all built-in schemes.
+pub fn policy_report(scenario: &FederationScenario) -> PolicyReport {
+    let props = scenario.properties();
+    PolicyReport {
+        grand_value: scenario.grand_value(),
+        core_nonempty: scenario.core_nonempty(),
+        superadditive: props.superadditive,
+        convex: props.convex,
+        assessments: compare_schemes(scenario, &SharingScheme::all_builtin()),
+    }
+}
+
+impl PolicyReport {
+    /// The scheme the report recommends: the in-core scheme closest to
+    /// contribution-proportionality, falling back to Shapley (the paper's
+    /// default recommendation) when the core is empty or nothing lands in
+    /// it.
+    pub fn recommended(&self) -> &str {
+        self.assessments
+            .iter()
+            .filter(|a| a.in_core == Some(true))
+            .min_by(|a, b| {
+                a.distance_from_proportional
+                    .partial_cmp(&b.distance_from_proportional)
+                    .expect("finite distances")
+            })
+            .map(|a| a.scheme.as_str())
+            .unwrap_or("shapley")
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "federation value V(N) = {:.2}", self.grand_value);
+        let _ = writeln!(
+            out,
+            "game: superadditive={} convex={} core_nonempty={}",
+            self.superadditive, self.convex, self.core_nonempty
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:<8} shares",
+            "scheme", "max_excess", "dist_from_pi", "in_core"
+        );
+        for a in &self.assessments {
+            let core = match a.in_core {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "n/a",
+            };
+            let shares = a
+                .shares
+                .iter()
+                .map(|s| format!("{s:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10.2} {:>12.4} {:<8} [{shares}]",
+                a.scheme, a.max_excess, a.distance_from_proportional, core
+            );
+        }
+        let _ = writeln!(out, "recommended: {}", self.recommended());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_core::{paper_facilities, Demand, ExperimentClass};
+
+    fn scenario(l: f64) -> FederationScenario {
+        FederationScenario::new(
+            paper_facilities([1, 1, 1]),
+            Demand::one_experiment(ExperimentClass::simple("e", l, 1.0)),
+        )
+    }
+
+    #[test]
+    fn report_contains_all_schemes() {
+        let r = policy_report(&scenario(500.0));
+        assert_eq!(r.assessments.len(), 5);
+        let text = r.render();
+        for name in [
+            "shapley",
+            "proportional",
+            "consumption",
+            "nucleolus",
+            "equal",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn recommendation_prefers_core_membership() {
+        // l = 1250: only grand coalition works, everything proportional-ish
+        // is out of core except symmetric allocations; equal split IS the
+        // core here, and it's also closest-to-pi among in-core schemes.
+        let r = policy_report(&scenario(1250.0));
+        assert!(r.core_nonempty);
+        let rec = r.recommended();
+        let rec_entry = r.assessments.iter().find(|a| a.scheme == rec).unwrap();
+        assert_eq!(rec_entry.in_core, Some(true));
+    }
+
+    #[test]
+    fn recommendation_falls_back_to_shapley() {
+        // Concave threshold-free game: empty core ⇒ shapley fallback.
+        let s = FederationScenario::new(
+            paper_facilities([1, 1, 1]),
+            Demand::one_experiment(ExperimentClass::simple("e", 0.0, 0.5)),
+        );
+        if !s.core_nonempty() {
+            let r = policy_report(&s);
+            assert_eq!(r.recommended(), "shapley");
+        }
+    }
+}

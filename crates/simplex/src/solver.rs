@@ -1,0 +1,335 @@
+//! Two-phase simplex driver.
+
+use crate::problem::{LinearProgram, Objective, ProblemError, Relation};
+use crate::tableau::{PivotOutcome, Tableau};
+use crate::EPSILON;
+
+/// Resolution status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of [`LinearProgram::solve`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Why the solver stopped.
+    pub status: Status,
+    /// Optimal objective value in the *original* sense (only meaningful for
+    /// [`Status::Optimal`]).
+    pub objective: f64,
+    /// Optimal values of the decision variables (zeros unless `Optimal`).
+    pub x: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Solves the program with the two-phase primal simplex method.
+    ///
+    /// Returns `Err` only for malformed input (see
+    /// [`LinearProgram::validate`]); infeasibility and unboundedness are
+    /// reported through [`Solution::status`].
+    pub fn solve(&self) -> Result<Solution, ProblemError> {
+        self.validate()?;
+
+        let n = self.n_vars;
+        let m = self.constraints.len();
+
+        // Column layout: [structural 0..n | slack/surplus | artificial].
+        let mut n_slack = 0usize;
+        for c in &self.constraints {
+            if matches!(c.relation, Relation::Le | Relation::Ge) {
+                n_slack += 1;
+            }
+        }
+
+        // Normalize rows to rhs ≥ 0, then decide which rows need an
+        // artificial: rows whose slack cannot serve as the initial basic
+        // variable (Ge's surplus enters with −1, Eq has no slack at all).
+        struct RowPlan {
+            coeffs: Vec<f64>,
+            rhs: f64,
+            slack: Option<(usize, f64)>, // (column offset among slacks, sign)
+            needs_artificial: bool,
+        }
+        let mut plans = Vec::with_capacity(m);
+        let mut slack_idx = 0usize;
+        for c in &self.constraints {
+            let mut coeffs = c.coeffs.clone();
+            let mut rhs = c.rhs;
+            let mut relation = c.relation;
+            if rhs < 0.0 {
+                for v in &mut coeffs {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                relation = match relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            let (slack, needs_artificial) = match relation {
+                Relation::Le => {
+                    let s = Some((slack_idx, 1.0));
+                    slack_idx += 1;
+                    (s, false)
+                }
+                Relation::Ge => {
+                    let s = Some((slack_idx, -1.0));
+                    slack_idx += 1;
+                    (s, true)
+                }
+                Relation::Eq => (None, true),
+            };
+            plans.push(RowPlan {
+                coeffs,
+                rhs,
+                slack,
+                needs_artificial,
+            });
+        }
+        let n_artificial = plans.iter().filter(|p| p.needs_artificial).count();
+        let n_cols = n + n_slack + n_artificial;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut art_col = n + n_slack;
+        for p in &plans {
+            let mut row = vec![0.0; n_cols + 1];
+            row[..n].copy_from_slice(&p.coeffs);
+            if let Some((s, sign)) = p.slack {
+                row[n + s] = sign;
+            }
+            row[n_cols] = p.rhs;
+            if p.needs_artificial {
+                row[art_col] = 1.0;
+                basis.push(art_col);
+                art_col += 1;
+            } else {
+                // The ≤-slack is the initial basic variable.
+                let (s, _) = p.slack.expect("non-artificial row has a slack");
+                basis.push(n + s);
+            }
+            rows.push(row);
+        }
+
+        // --- Phase 1: minimize the sum of artificials. ---
+        if n_artificial > 0 {
+            let mut cost = vec![0.0; n_cols];
+            #[allow(clippy::needless_range_loop)]
+            for j in (n + n_slack)..n_cols {
+                cost[j] = 1.0;
+            }
+            let mut t = Tableau::new(rows, cost, basis, n_cols);
+            t.price_out_basis();
+            match t.run(&|_| true) {
+                PivotOutcome::Optimal => {}
+                PivotOutcome::Unbounded => {
+                    // Sum of non-negative artificials cannot be unbounded
+                    // below; this indicates numerical trouble.
+                    unreachable!("phase-1 objective is bounded below by zero")
+                }
+            }
+            // cost_rhs holds −(Σ artificials); feasible iff ~0.
+            if t.cost_rhs < -EPSILON {
+                return Ok(Solution {
+                    status: Status::Infeasible,
+                    objective: 0.0,
+                    x: vec![0.0; n],
+                });
+            }
+            // Drive any artificial still basic (at value 0) out of the basis
+            // by pivoting on some nonzero non-artificial entry in its row. A
+            // row with no such entry is redundant and may keep its artificial
+            // (it stays at zero; phase 2 forbids artificials from entering).
+            for r in 0..t.rows.len() {
+                if t.basis[r] >= n + n_slack {
+                    if let Some(j) = (0..n + n_slack).find(|&j| t.rows[r][j].abs() > EPSILON) {
+                        t.pivot(r, j);
+                    }
+                }
+            }
+            rows = t.rows;
+            basis = t.basis;
+        }
+
+        // --- Phase 2: minimize the (sign-adjusted) real objective. ---
+        let sign = match self.sense {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; n_cols];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..n {
+            cost[j] = sign * self.objective[j];
+        }
+        let mut t = Tableau::new(rows, cost, basis, n_cols);
+        t.price_out_basis();
+        let structural_limit = n + n_slack;
+        match t.run(&|j| j < structural_limit) {
+            PivotOutcome::Optimal => {
+                let x: Vec<f64> = (0..n).map(|j| t.value_of(j)).collect();
+                let objective = self.objective_value(&x);
+                Ok(Solution {
+                    status: Status::Optimal,
+                    objective,
+                    x,
+                })
+            }
+            PivotOutcome::Unbounded => Ok(Solution {
+                status: Status::Unbounded,
+                objective: 0.0,
+                x: vec![0.0; n],
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximize_with_le_constraints() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(vec![3.0, 5.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_needs_phase1() {
+        // Classic diet-style LP: min 0.2x + 0.3y, x+y ≥ 10, 2x+y ≥ 12.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective(vec![0.2, 0.3]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Ge, 10.0);
+        lp.add_constraint(vec![2.0, 1.0], Relation::Ge, 12.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // x+y ≥ 10 binds with cheapest mix: all x (0.2/unit) once 2x+y ok.
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[0], 10.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, x − y = 1 → x=2, y=1, obj=4.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(vec![1.0, 2.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 3.0);
+        lp.add_constraint(vec![1.0, -1.0], Relation::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 4.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Ge, 5.0);
+        lp.add_constraint(vec![1.0], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(vec![1.0, 0.0]);
+        lp.add_constraint(vec![-1.0, 1.0], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x ≤ −1 is infeasible for x ≥ 0; expressed as −x ≥ 1 internally.
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, -1.0);
+        assert_eq!(lp.solve().unwrap().status, Status::Infeasible);
+
+        // −x ≥ −5 ⇔ x ≤ 5 is feasible and bounds the objective.
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![-1.0], Relation::Ge, -5.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Highly degenerate: many constraints intersecting at the origin.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![2.0, 1.0], Relation::Le, 0.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice plus its double: rank-deficient system.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(vec![1.0, 0.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 2.0);
+        lp.add_constraint(vec![2.0, 2.0], Relation::Eq, 4.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn free_variable_pair_round_trip() {
+        // max t s.t. t ≤ 3 − x, t ≤ x − 1 with t free: optimum t=1 at x=2.
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        let (tp, tm) = lp.add_free_variable_pair();
+        lp.set_objective_coefficient(tp, 1.0);
+        lp.set_objective_coefficient(tm, -1.0);
+        // x + t ≤ 3 ; −x + t ≤ −1
+        lp.add_constraint(vec![1.0, 1.0, -1.0], Relation::Le, 3.0);
+        lp.add_constraint(vec![-1.0, 1.0, -1.0], Relation::Le, -1.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(LinearProgram::free_value(&s.x, (tp, tm)), 1.0);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_original_program() {
+        let mut lp = LinearProgram::new(3, Objective::Minimize);
+        lp.set_objective(vec![1.0, 2.0, 3.0]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Ge, 6.0);
+        lp.add_constraint(vec![1.0, -1.0, 0.0], Relation::Eq, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, 2.0], Relation::Le, 8.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(lp.is_feasible(&s.x, 1e-7));
+    }
+}

@@ -1,0 +1,204 @@
+//! Dense simplex tableau with Bland's-rule pivoting.
+//!
+//! The tableau stores the constraint matrix in canonical (basis = identity)
+//! form together with a cost row. Phase bookkeeping lives in
+//! [`crate::solver`]; this module only knows how to pivot.
+
+use crate::EPSILON;
+
+/// Outcome of running the simplex iteration loop on a tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PivotOutcome {
+    /// No entering column improves the objective: current basis is optimal.
+    Optimal,
+    /// An improving column has no positive pivot entry: objective unbounded.
+    Unbounded,
+}
+
+/// A dense tableau in canonical form.
+///
+/// Row layout: `rows × (n_cols + 1)` where the last column is the
+/// right-hand side. The cost row is stored separately in `cost` with the
+/// (negated) objective value in `cost_rhs`.
+pub(crate) struct Tableau {
+    /// Constraint rows, each `n_cols + 1` long (rhs last).
+    pub rows: Vec<Vec<f64>>,
+    /// Reduced-cost row, `n_cols` long. Convention: we *minimize*, and a
+    /// column with `cost < -EPSILON` is eligible to enter.
+    pub cost: Vec<f64>,
+    /// Current objective value (of the minimization) times −1.
+    pub cost_rhs: f64,
+    /// Basis: `basis[r]` is the column index basic in row `r`.
+    pub basis: Vec<usize>,
+    /// Total number of structural + slack + artificial columns.
+    pub n_cols: usize,
+}
+
+impl Tableau {
+    pub fn new(rows: Vec<Vec<f64>>, cost: Vec<f64>, basis: Vec<usize>, n_cols: usize) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == n_cols + 1));
+        debug_assert_eq!(cost.len(), n_cols);
+        debug_assert_eq!(basis.len(), rows.len());
+        Tableau {
+            rows,
+            cost,
+            cost_rhs: 0.0,
+            basis,
+            n_cols,
+        }
+    }
+
+    /// Makes the reduced costs of all basic columns zero by eliminating them
+    /// with their rows ("pricing out"). Required after installing a new cost
+    /// row over an existing basis (start of each phase).
+    pub fn price_out_basis(&mut self) {
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            let c = self.cost[b];
+            if c.abs() > 0.0 {
+                self.eliminate_from_cost(r, c);
+            }
+        }
+    }
+
+    fn eliminate_from_cost(&mut self, row: usize, factor: f64) {
+        for j in 0..self.n_cols {
+            self.cost[j] -= factor * self.rows[row][j];
+        }
+        self.cost_rhs -= factor * self.rows[row][self.n_cols];
+    }
+
+    /// Runs simplex iterations (minimization) until optimal or unbounded.
+    ///
+    /// `allowed` restricts the entering columns (used in phase 2 to freeze
+    /// artificial columns out of the basis). Bland's rule — smallest-index
+    /// entering column among eligible, smallest-index leaving basic variable
+    /// among ratio-test ties — guarantees termination without cycling.
+    pub fn run(&mut self, allowed: &dyn Fn(usize) -> bool) -> PivotOutcome {
+        loop {
+            // Bland: first column with negative reduced cost.
+            let entering = (0..self.n_cols)
+                .find(|&j| allowed(j) && self.cost[j] < -EPSILON && !self.in_basis(j));
+            let Some(entering) = entering else {
+                return PivotOutcome::Optimal;
+            };
+
+            // Ratio test with Bland tie-break on basic variable index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][entering];
+                if a > EPSILON {
+                    let ratio = self.rows[r][self.n_cols] / a;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((best_r, best_ratio)) => {
+                            if ratio < best_ratio - EPSILON
+                                || ((ratio - best_ratio).abs() <= EPSILON
+                                    && self.basis[r] < self.basis[best_r])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((leave_row, _)) = leaving else {
+                return PivotOutcome::Unbounded;
+            };
+            self.pivot(leave_row, entering);
+        }
+    }
+
+    fn in_basis(&self, col: usize) -> bool {
+        self.basis.contains(&col)
+    }
+
+    /// Pivots on `(row, col)`: normalizes the row and eliminates the column
+    /// from every other row and the cost row.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPSILON, "pivot on ~zero element");
+        let inv = 1.0 / pivot_val;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        // Re-normalize the pivot element exactly to dodge drift.
+        self.rows[row][col] = 1.0;
+
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor != 0.0 {
+                for j in 0..=self.n_cols {
+                    let delta = factor * self.rows[row][j];
+                    self.rows[r][j] -= delta;
+                }
+                self.rows[r][col] = 0.0;
+            }
+        }
+        let factor = self.cost[col];
+        if factor != 0.0 {
+            for j in 0..self.n_cols {
+                self.cost[j] -= factor * self.rows[row][j];
+            }
+            self.cost_rhs -= factor * self.rows[row][self.n_cols];
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Extracts the value of column `col` in the current basic solution.
+    pub fn value_of(&self, col: usize) -> f64 {
+        self.basis
+            .iter()
+            .position(|&b| b == col)
+            .map_or(0.0, |r| self.rows[r][self.n_cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min −3x −2y  s.t. x+y+s1 = 4, x+3y+s2 = 6 — optimum at x=4, y=0.
+    fn toy() -> Tableau {
+        let rows = vec![vec![1.0, 1.0, 1.0, 0.0, 4.0], vec![1.0, 3.0, 0.0, 1.0, 6.0]];
+        let cost = vec![-3.0, -2.0, 0.0, 0.0];
+        Tableau::new(rows, cost, vec![2, 3], 4)
+    }
+
+    #[test]
+    fn pivots_to_optimum() {
+        let mut t = toy();
+        let outcome = t.run(&|_| true);
+        assert_eq!(outcome, PivotOutcome::Optimal);
+        assert!((t.value_of(0) - 4.0).abs() < 1e-9);
+        assert!(t.value_of(1).abs() < 1e-9);
+        // cost_rhs = −(objective of minimization) = 12
+        assert!((t.cost_rhs - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min −x with x − y ≤ 1 → x can grow with y.
+        let rows = vec![vec![1.0, -1.0, 1.0, 1.0]];
+        let cost = vec![-1.0, 0.0, 0.0];
+        let mut t = Tableau::new(rows, cost, vec![2], 3);
+        // First pivot brings x in; afterwards y has negative reduced cost and
+        // no positive entries.
+        assert_eq!(t.run(&|_| true), PivotOutcome::Unbounded);
+    }
+
+    #[test]
+    fn price_out_clears_basic_costs() {
+        let rows = vec![vec![1.0, 2.0, 3.0]];
+        let cost = vec![5.0, 0.0];
+        let mut t = Tableau::new(rows, cost, vec![0], 2);
+        t.price_out_basis();
+        assert_eq!(t.cost[0], 0.0);
+        assert!((t.cost[1] + 10.0).abs() < 1e-12);
+        assert!((t.cost_rhs + 15.0).abs() < 1e-12);
+    }
+}

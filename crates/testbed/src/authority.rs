@@ -1,0 +1,112 @@
+//! Top-level authorities (PLC, PLE, PLJ, …) and their resource view.
+
+use crate::site::Site;
+use fedval_core::{Facility, LocationOffer};
+use serde::{Deserialize, Serialize};
+
+/// A top-level federation authority: operates sites, vouches for users.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Authority {
+    /// Name, e.g. "PLC", "PLE", "PLJ".
+    pub name: String,
+    /// Sites this authority manages.
+    pub sites: Vec<Site>,
+    /// Number of affiliated users (researchers).
+    pub users: u64,
+}
+
+impl Authority {
+    /// Creates an authority.
+    pub fn new(name: impl Into<String>, sites: Vec<Site>, users: u64) -> Authority {
+        Authority {
+            name: name.into(),
+            sites,
+            users,
+        }
+    }
+
+    /// Number of distinct locations covered (`Lᵢ` in the economic model).
+    pub fn n_locations(&self) -> usize {
+        let mut locs: Vec<_> = self.sites.iter().map(|s| s.location).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs.len()
+    }
+
+    /// Total sliver capacity contributed.
+    pub fn total_capacity(&self) -> u64 {
+        self.sites.iter().map(|s| s.total_sliver_capacity()).sum()
+    }
+
+    /// Projects the authority onto the economic model: one [`Facility`]
+    /// whose per-location capacity is the summed sliver capacity of the
+    /// authority's sites there.
+    pub fn as_facility(&self) -> Facility {
+        let mut offer = LocationOffer::new();
+        for site in &self.sites {
+            offer.add(site.location, site.total_sliver_capacity());
+        }
+        Facility::new(self.name.clone(), offer).with_users(self.users)
+    }
+}
+
+/// Builds a synthetic authority with `n_sites` uniform sites on contiguous
+/// locations starting at `first_location`.
+pub fn synthetic_authority(
+    name: impl Into<String>,
+    first_location: u32,
+    n_sites: u32,
+    nodes_per_site: usize,
+    sliver_capacity: u64,
+    users: u64,
+) -> Authority {
+    let name = name.into();
+    let sites = (0..n_sites)
+        .map(|i| {
+            Site::uniform(
+                format!("{name}-site-{i}"),
+                first_location + i,
+                nodes_per_site,
+                sliver_capacity,
+            )
+        })
+        .collect();
+    Authority::new(name, sites, users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_authority_dimensions() {
+        let a = synthetic_authority("PLE", 100, 40, 2, 5, 150);
+        assert_eq!(a.sites.len(), 40);
+        assert_eq!(a.n_locations(), 40);
+        assert_eq!(a.total_capacity(), 40 * 2 * 5);
+        assert_eq!(a.users, 150);
+    }
+
+    #[test]
+    fn facility_projection_matches_model() {
+        let a = synthetic_authority("PLC", 0, 10, 2, 4, 100);
+        let f = a.as_facility();
+        assert_eq!(f.n_locations(), 10);
+        assert_eq!(f.total_slots(), 80);
+        assert_eq!(f.users, 100);
+        assert_eq!(f.name, "PLC");
+    }
+
+    #[test]
+    fn colocated_sites_merge_into_one_location() {
+        let a = Authority::new(
+            "X",
+            vec![Site::uniform("s1", 5, 2, 3), Site::uniform("s2", 5, 2, 3)],
+            0,
+        );
+        assert_eq!(a.n_locations(), 1);
+        let f = a.as_facility();
+        assert_eq!(f.n_locations(), 1);
+        assert_eq!(f.offer.capacity_at(5), 12);
+    }
+}

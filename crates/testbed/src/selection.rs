@@ -1,0 +1,208 @@
+//! Property-based resource selection — the paper's MySlice direction.
+//!
+//! §4.3.2: "We have now initiated changes to the PlanetLab interface to
+//! allow users to explicitly select resources on the basis of their
+//! properties (geographic location, reliability, etc.)". This module is
+//! that interface for the simulated testbed: a small query language over
+//! the federated node registry, so experimenters (and the workload
+//! generator) can express *which* diversity they want rather than taking
+//! whatever the allocator picks.
+
+use crate::federation::{Federation, NodeRecord};
+use fedval_core::LocationId;
+
+/// A query over the federated node registry. All set criteria must hold
+/// (conjunction); unset criteria match everything.
+#[derive(Debug, Clone, Default)]
+pub struct NodeQuery {
+    /// Restrict to these location ids.
+    pub locations: Option<Vec<LocationId>>,
+    /// Restrict to a location id range `[lo, hi)` (e.g. "Europe" as an
+    /// id block).
+    pub location_range: Option<(LocationId, LocationId)>,
+    /// Minimum sliver capacity of the node.
+    pub min_capacity: Option<u64>,
+    /// Restrict to nodes operated by these authorities (by index).
+    pub authorities: Option<Vec<u32>>,
+    /// Substring match on the owning site's name.
+    pub site_contains: Option<String>,
+}
+
+impl NodeQuery {
+    /// The match-everything query.
+    pub fn any() -> NodeQuery {
+        NodeQuery::default()
+    }
+
+    /// Restricts to a location range (builder style).
+    pub fn in_location_range(mut self, lo: LocationId, hi: LocationId) -> NodeQuery {
+        self.location_range = Some((lo, hi));
+        self
+    }
+
+    /// Restricts to specific locations (builder style).
+    pub fn at_locations(mut self, locations: Vec<LocationId>) -> NodeQuery {
+        self.locations = Some(locations);
+        self
+    }
+
+    /// Requires at least this much sliver capacity (builder style).
+    pub fn with_min_capacity(mut self, min: u64) -> NodeQuery {
+        self.min_capacity = Some(min);
+        self
+    }
+
+    /// Restricts to authorities (builder style).
+    pub fn from_authorities(mut self, authorities: Vec<u32>) -> NodeQuery {
+        self.authorities = Some(authorities);
+        self
+    }
+
+    /// Requires the site name to contain `needle` (builder style).
+    pub fn with_site_containing(mut self, needle: impl Into<String>) -> NodeQuery {
+        self.site_contains = Some(needle.into());
+        self
+    }
+
+    /// Whether a record matches.
+    pub fn matches(&self, record: &NodeRecord) -> bool {
+        if let Some(locs) = &self.locations {
+            if !locs.contains(&record.location) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.location_range {
+            if record.location < lo || record.location >= hi {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_capacity {
+            if record.sliver_capacity < min {
+                return false;
+            }
+        }
+        if let Some(auths) = &self.authorities {
+            if !auths.contains(&record.authority) {
+                return false;
+            }
+        }
+        if let Some(needle) = &self.site_contains {
+            if !record.site.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Result of a selection: matching nodes plus diversity metadata.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The matching node records.
+    pub nodes: Vec<NodeRecord>,
+    /// Distinct locations among the matches.
+    pub distinct_locations: usize,
+    /// Total sliver capacity among the matches.
+    pub total_capacity: u64,
+}
+
+/// Runs a query against the federation's registry.
+pub fn select(federation: &Federation, query: &NodeQuery) -> Selection {
+    let nodes: Vec<NodeRecord> = federation
+        .registry()
+        .into_iter()
+        .filter(|r| query.matches(r))
+        .collect();
+    let mut locations: Vec<LocationId> = nodes.iter().map(|r| r.location).collect();
+    locations.sort_unstable();
+    locations.dedup();
+    let total_capacity = nodes.iter().map(|r| r.sliver_capacity).sum();
+    Selection {
+        distinct_locations: locations.len(),
+        total_capacity,
+        nodes,
+    }
+}
+
+/// Whether a selection can host an experiment requiring strictly more
+/// than `threshold` distinct locations.
+pub fn satisfies_diversity(selection: &Selection, threshold: f64) -> bool {
+    selection.distinct_locations as f64 > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::synthetic_authority;
+
+    fn fed() -> Federation {
+        Federation::new(vec![
+            synthetic_authority("PLC", 0, 10, 2, 4, 0),
+            synthetic_authority("PLE", 10, 6, 2, 8, 0),
+        ])
+    }
+
+    #[test]
+    fn any_query_matches_everything() {
+        let f = fed();
+        let s = select(&f, &NodeQuery::any());
+        assert_eq!(s.nodes.len(), (10 + 6) * 2);
+        assert_eq!(s.distinct_locations, 16);
+        assert_eq!(s.total_capacity, 10 * 2 * 4 + 6 * 2 * 8);
+    }
+
+    #[test]
+    fn location_range_selects_a_region() {
+        let f = fed();
+        // "Europe" is the PLE block 10..16.
+        let s = select(&f, &NodeQuery::any().in_location_range(10, 16));
+        assert_eq!(s.distinct_locations, 6);
+        assert!(s.nodes.iter().all(|r| r.authority == 1));
+    }
+
+    #[test]
+    fn capacity_filter() {
+        let f = fed();
+        let s = select(&f, &NodeQuery::any().with_min_capacity(5));
+        assert!(s.nodes.iter().all(|r| r.sliver_capacity >= 5));
+        assert_eq!(s.nodes.len(), 12); // only PLE's capacity-8 nodes
+    }
+
+    #[test]
+    fn authority_and_site_filters_compose() {
+        let f = fed();
+        let q = NodeQuery::any()
+            .from_authorities(vec![0])
+            .with_site_containing("site-3");
+        let s = select(&f, &q);
+        assert_eq!(s.distinct_locations, 1);
+        assert!(s.nodes.iter().all(|r| r.site == "PLC-site-3"));
+    }
+
+    #[test]
+    fn explicit_location_list() {
+        let f = fed();
+        let s = select(&f, &NodeQuery::any().at_locations(vec![0, 11, 99]));
+        assert_eq!(s.distinct_locations, 2); // 99 does not exist
+    }
+
+    #[test]
+    fn diversity_predicate_uses_strict_threshold() {
+        let f = fed();
+        let s = select(&f, &NodeQuery::any().in_location_range(0, 10));
+        assert!(satisfies_diversity(&s, 9.0));
+        assert!(!satisfies_diversity(&s, 10.0)); // 10 is not > 10
+    }
+
+    #[test]
+    fn selection_feeds_feasibility_decisions() {
+        // An experimenter wanting > 12 distinct locations of capacity ≥ 5
+        // cannot be served: only PLE qualifies and it has 6 locations.
+        let f = fed();
+        let s = select(&f, &NodeQuery::any().with_min_capacity(5));
+        assert!(!satisfies_diversity(&s, 12.0));
+        // Relaxing the capacity requirement unlocks the full federation.
+        let relaxed = select(&f, &NodeQuery::any());
+        assert!(satisfies_diversity(&relaxed, 12.0));
+    }
+}

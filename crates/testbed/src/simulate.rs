@@ -1,0 +1,582 @@
+//! The slice-lifecycle simulation and the empirical characteristic
+//! function.
+//!
+//! For a coalition `S` of authorities, the simulator instantiates the
+//! nodes of `S`'s sites, replays a workload of slice requests (external
+//! customers — the paper's commercial scenario, where demand does not
+//! depend on the coalition), and measures the utility delivered:
+//! a slice wanting `> l` distinct locations is admitted on the
+//! least-loaded node (with `r` free sliver units) of every available
+//! location (up to its `l̄`), holds `r` units per node for its holding
+//! time, and contributes `u(x)` on admission.
+//!
+//! Running this for every coalition yields a **measured** coalitional game
+//! ([`empirical_game`]) on which the Shapley machinery runs unchanged —
+//! the paper's proposed off-line policy-design pipeline, with simulation
+//! standing in for the closed-form model.
+
+use crate::federation::Federation;
+use crate::workload::{SliceRequest, Workload};
+use fedval_coalition::{Coalition, TableGame};
+use fedval_core::{LocationId, Utility};
+use fedval_desim::{SimRng, Simulator, TimeWeighted};
+use std::collections::BTreeMap;
+
+/// Node churn parameters: nodes alternate exponentially-distributed up
+/// and down periods — the paper's §2.1 *reliability* attribute ("how long
+/// it remains available without interruption") made operational.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Mean time between failures (mean up period).
+    pub mtbf: f64,
+    /// Mean time to repair (mean down period).
+    pub mttr: f64,
+}
+
+impl Churn {
+    /// Long-run node availability `MTBF / (MTBF + MTTR)` — the model's
+    /// `Tᵢ` when all of a facility's nodes share the same churn.
+    pub fn availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.mttr)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Simulated time horizon.
+    pub horizon: f64,
+    /// Initial span excluded from statistics (transient warm-up).
+    pub warmup: f64,
+    /// RNG seed (workload and tie-breaking).
+    pub seed: u64,
+    /// Optional node up/down churn (None = perfectly reliable nodes).
+    pub churn: Option<Churn>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: 1000.0,
+            warmup: 100.0,
+            seed: 42,
+            churn: None,
+        }
+    }
+}
+
+/// Measured outcome of one coalition run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total utility delivered after warm-up.
+    pub total_utility: f64,
+    /// Utility per workload class.
+    pub per_class_utility: Vec<f64>,
+    /// Admitted slice count per class.
+    pub admitted: Vec<u64>,
+    /// Blocked slice count per class.
+    pub blocked: Vec<u64>,
+    /// Sliver-time consumed on each authority's nodes (player-indexed over
+    /// the full federation; non-members are zero).
+    pub consumption: Vec<f64>,
+    /// Mean fraction of the coalition's sliver capacity in use.
+    pub mean_utilization: f64,
+    /// Sliver placements killed by node failures (after warm-up).
+    pub disrupted_slivers: u64,
+    /// Utility accrued to each authority's affiliated users (P2P
+    /// scenario; classes with `owner: None` accrue to no one here).
+    pub per_authority_utility: Vec<f64>,
+}
+
+impl SimReport {
+    /// Blocking probability per class (`NaN`-free: 0 when no arrivals).
+    pub fn blocking_probability(&self, class: usize) -> f64 {
+        let total = self.admitted[class] + self.blocked[class];
+        if total == 0 {
+            0.0
+        } else {
+            self.blocked[class] as f64 / total as f64
+        }
+    }
+}
+
+struct NodeState {
+    authority: usize,
+    location: LocationId,
+    capacity: u64,
+    used: u64,
+    up: bool,
+    /// Incremented on every failure; stale departures are ignored.
+    epoch: u64,
+}
+
+enum Event {
+    /// Index into the request list.
+    Arrival(usize),
+    /// Release `r` sliver units on each listed `(node, epoch)`; stale
+    /// epochs (the node failed meanwhile) are skipped.
+    Departure { nodes: Vec<(usize, u64)>, r: u64 },
+    /// A node fails (killing its slivers) …
+    NodeDown(usize),
+    /// … and later recovers.
+    NodeUp(usize),
+}
+
+/// Runs the slice simulation for the authorities in `coalition`.
+pub fn run_coalition(
+    federation: &Federation,
+    coalition: Coalition,
+    workload: &Workload,
+    config: &SimConfig,
+) -> SimReport {
+    let n_classes = workload.classes.len();
+    let mut rng = SimRng::seed_from(config.seed);
+    let requests: Vec<SliceRequest> = workload.generate(config.horizon, &mut rng);
+
+    // Instantiate the coalition's nodes.
+    let mut nodes: Vec<NodeState> = Vec::new();
+    for (ai, authority) in federation.authorities().iter().enumerate() {
+        if !coalition.contains(ai) {
+            continue;
+        }
+        for site in &authority.sites {
+            for node in &site.nodes {
+                nodes.push(NodeState {
+                    authority: ai,
+                    location: site.location,
+                    capacity: node.sliver_capacity,
+                    used: 0,
+                    up: true,
+                    epoch: 0,
+                });
+            }
+        }
+    }
+    let total_capacity: u64 = nodes.iter().map(|n| n.capacity).sum();
+
+    // Location → node indices.
+    let mut by_location: BTreeMap<LocationId, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_location.entry(n.location).or_default().push(i);
+    }
+
+    let mut sim: Simulator<Event> = Simulator::new();
+    for (i, r) in requests.iter().enumerate() {
+        sim.schedule_at(r.arrival, Event::Arrival(i));
+    }
+    let mut churn_rng = rng.fork();
+    if let Some(churn) = config.churn {
+        use fedval_desim::{Distribution, Exponential};
+        let up = Exponential::with_mean(churn.mtbf);
+        for i in 0..nodes.len() {
+            sim.schedule(up.sample(&mut churn_rng), Event::NodeDown(i));
+        }
+    }
+
+    let mut per_class_utility = vec![0.0; n_classes];
+    let mut admitted = vec![0u64; n_classes];
+    let mut blocked = vec![0u64; n_classes];
+    let mut consumption = vec![0.0; federation.len()];
+    let mut per_authority_utility = vec![0.0; federation.len()];
+    let mut busy = TimeWeighted::new(0.0, 0.0);
+    let mut disrupted = 0u64;
+
+    while let Some((now, event)) = sim.next_event() {
+        if now > config.horizon {
+            break; // departures past the horizon cannot affect statistics
+        }
+        match event {
+            Event::Arrival(idx) => {
+                let req = requests[idx];
+                let class = &workload.classes[req.class].class;
+                let r = class.resources_per_location;
+                // One node with >= r free sliver units per available
+                // location, least-loaded first.
+                let mut chosen: Vec<usize> = Vec::new();
+                for node_ids in by_location.values() {
+                    let free = node_ids
+                        .iter()
+                        .copied()
+                        .filter(|&i| nodes[i].up && nodes[i].used + r <= nodes[i].capacity)
+                        .min_by_key(|&i| (nodes[i].used, i));
+                    if let Some(i) = free {
+                        chosen.push(i);
+                    }
+                }
+                let want = class.max_size(chosen.len() as u64);
+                if (want as f64) <= class.utility.threshold {
+                    // Not enough distinct locations: blocked.
+                    if now >= config.warmup {
+                        blocked[req.class] += 1;
+                    }
+                    continue;
+                }
+                // Prefer the least-loaded locations when trimming to l̄.
+                chosen.sort_by_key(|&i| (nodes[i].used * 1000) / nodes[i].capacity.max(1));
+                chosen.truncate(want as usize);
+                for &i in &chosen {
+                    nodes[i].used += r;
+                }
+                busy.record(now, nodes.iter().map(|n| n.used).sum::<u64>() as f64);
+                if now >= config.warmup {
+                    admitted[req.class] += 1;
+                    let u = class.utility.eval(want as f64);
+                    per_class_utility[req.class] += u;
+                    if let Some(owner) = workload.classes[req.class].owner {
+                        if owner < per_authority_utility.len() {
+                            per_authority_utility[owner] += u;
+                        }
+                    }
+                    for &i in &chosen {
+                        consumption[nodes[i].authority] += r as f64 * req.holding;
+                    }
+                }
+                let held: Vec<(usize, u64)> = chosen.iter().map(|&i| (i, nodes[i].epoch)).collect();
+                sim.schedule_at(now + req.holding, Event::Departure { nodes: held, r });
+            }
+            Event::Departure { nodes: held, r } => {
+                for &(i, epoch) in &held {
+                    if nodes[i].epoch == epoch {
+                        debug_assert!(nodes[i].used >= r);
+                        nodes[i].used -= r;
+                    }
+                }
+                busy.record(now, nodes.iter().map(|n| n.used).sum::<u64>() as f64);
+            }
+            Event::NodeDown(i) => {
+                use fedval_desim::{Distribution, Exponential};
+                let churn = config.churn.expect("churn events need churn config");
+                if now >= config.warmup {
+                    disrupted += nodes[i].used;
+                }
+                nodes[i].up = false;
+                nodes[i].used = 0;
+                nodes[i].epoch += 1;
+                busy.record(now, nodes.iter().map(|n| n.used).sum::<u64>() as f64);
+                let down = Exponential::with_mean(churn.mttr);
+                sim.schedule_at(now + down.sample(&mut churn_rng), Event::NodeUp(i));
+            }
+            Event::NodeUp(i) => {
+                use fedval_desim::{Distribution, Exponential};
+                let churn = config.churn.expect("churn events need churn config");
+                nodes[i].up = true;
+                let up = Exponential::with_mean(churn.mtbf);
+                sim.schedule_at(now + up.sample(&mut churn_rng), Event::NodeDown(i));
+            }
+        }
+    }
+
+    let mean_utilization = if total_capacity == 0 {
+        0.0
+    } else {
+        busy.mean(config.horizon) / total_capacity as f64
+    };
+
+    SimReport {
+        total_utility: per_class_utility.iter().sum(),
+        per_class_utility,
+        admitted,
+        blocked,
+        consumption,
+        mean_utilization,
+        disrupted_slivers: disrupted,
+        per_authority_utility,
+    }
+}
+
+/// Measures the full characteristic function by simulation: one run per
+/// coalition, identical workload (same seed) across coalitions.
+pub fn empirical_game(
+    federation: &Federation,
+    workload: &Workload,
+    config: &SimConfig,
+) -> TableGame {
+    let n = federation.len();
+    assert!(n <= 16, "2^n simulation runs — keep n small");
+    TableGame::from_fn(n, |coalition| {
+        if coalition.is_empty() {
+            0.0
+        } else {
+            run_coalition(federation, coalition, workload, config).total_utility
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::synthetic_authority;
+    use fedval_coalition::CoalitionalGame;
+    use fedval_core::ExperimentClass;
+
+    fn small_federation() -> Federation {
+        Federation::new(vec![
+            synthetic_authority("PLC", 0, 6, 2, 2, 100),
+            synthetic_authority("PLE", 6, 4, 2, 2, 80),
+        ])
+    }
+
+    fn config() -> SimConfig {
+        SimConfig {
+            horizon: 300.0,
+            warmup: 30.0,
+            seed: 7,
+            churn: None,
+        }
+    }
+
+    #[test]
+    fn diversity_threshold_blocks_small_coalitions() {
+        // Class needs > 8 locations; PLC alone has 6, PLE alone 4 —
+        // only the federation (10) can serve.
+        let fed = small_federation();
+        let wl = Workload::single(ExperimentClass::simple("big", 8.0, 1.0), 0.5, 1.0);
+        let alone = run_coalition(&fed, Coalition::singleton(0), &wl, &config());
+        assert_eq!(alone.total_utility, 0.0);
+        assert!(alone.blocked.iter().sum::<u64>() > 0);
+        let together = run_coalition(&fed, Coalition::grand(2), &wl, &config());
+        assert!(together.total_utility > 0.0);
+    }
+
+    #[test]
+    fn empirical_game_is_monotone_ish_and_zero_on_empty() {
+        let fed = small_federation();
+        let wl = Workload::single(ExperimentClass::simple("small", 2.0, 1.0), 1.0, 0.5);
+        let game = empirical_game(&fed, &wl, &config());
+        assert_eq!(game.value(Coalition::EMPTY), 0.0);
+        let v1 = game.value(Coalition::singleton(0));
+        let vn = game.value(Coalition::grand(2));
+        assert!(vn >= v1, "federation at least as valuable: {vn} vs {v1}");
+    }
+
+    #[test]
+    fn same_seed_same_results() {
+        let fed = small_federation();
+        let wl = Workload::planetlab_mix(1.0, 1.0);
+        let cfg = config();
+        let a = run_coalition(&fed, Coalition::grand(2), &wl, &cfg);
+        let b = run_coalition(&fed, Coalition::grand(2), &wl, &cfg);
+        assert_eq!(a.total_utility, b.total_utility);
+        assert_eq!(a.admitted, b.admitted);
+    }
+
+    #[test]
+    fn consumption_tracks_members_only() {
+        let fed = small_federation();
+        let wl = Workload::single(ExperimentClass::simple("c", 1.0, 1.0), 1.0, 0.5);
+        let r = run_coalition(&fed, Coalition::singleton(1), &wl, &config());
+        assert_eq!(r.consumption[0], 0.0, "non-member consumed nothing");
+        assert!(r.consumption[1] > 0.0);
+    }
+
+    #[test]
+    fn utilization_and_blocking_bounds() {
+        let fed = small_federation();
+        // Overload: high arrival rate, long holding.
+        let wl = Workload::single(ExperimentClass::simple("c", 1.0, 1.0), 20.0, 5.0);
+        let r = run_coalition(&fed, Coalition::grand(2), &wl, &config());
+        assert!(r.mean_utilization > 0.3 && r.mean_utilization <= 1.0);
+        assert!(r.blocking_probability(0) > 0.0);
+        assert!(r.blocking_probability(0) <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod resource_tests {
+    use super::*;
+    use crate::authority::synthetic_authority;
+    use crate::workload::ClassLoad;
+    use fedval_core::ExperimentClass;
+
+    #[test]
+    fn resource_hungry_class_consumes_r_slivers_per_node() {
+        // One authority, nodes of capacity 4; a class with r = 4 fills a
+        // node with a single sliver, so at most one such slice fits per
+        // node at a time.
+        let fed = Federation::new(vec![synthetic_authority("A", 0, 3, 2, 4, 0)]);
+        let wl = Workload::single(
+            ExperimentClass::simple("cdn", 0.0, 1.0).with_resources(4),
+            4.0,
+            1.0,
+        );
+        let cfg = SimConfig {
+            horizon: 400.0,
+            warmup: 40.0,
+            seed: 3,
+            churn: None,
+        };
+        let r = run_coalition(&fed, Coalition::grand(1), &wl, &cfg);
+        // Capacity: 6 nodes × 4 units = 24 units; each slice takes up to
+        // 3 locations × 4 units = 12 ⇒ heavy blocking at load 4 Erlang.
+        assert!(r.blocking_probability(0) > 0.1);
+        assert!(r.mean_utilization > 0.2);
+    }
+
+    #[test]
+    fn heavy_class_is_blocked_before_light_class() {
+        // Same arrival pattern, one light (r=1) and one heavy (r=3) class
+        // competing on capacity-3 nodes: the heavy class needs a fully
+        // free node per location and blocks more.
+        let fed = Federation::new(vec![synthetic_authority("A", 0, 4, 2, 3, 0)]);
+        let wl = Workload {
+            classes: vec![
+                ClassLoad::external(
+                ExperimentClass::simple("light", 1.0, 1.0),
+                3.0,
+                1.0,
+            ),
+                ClassLoad::external(
+                ExperimentClass::simple("heavy", 1.0, 1.0).with_resources(3),
+                3.0,
+                1.0,
+            ),
+            ],
+        };
+        let cfg = SimConfig {
+            horizon: 600.0,
+            warmup: 60.0,
+            seed: 13,
+            churn: None,
+        };
+        let r = run_coalition(&fed, Coalition::grand(1), &wl, &cfg);
+        assert!(
+            r.blocking_probability(1) > r.blocking_probability(0),
+            "heavy {} vs light {}",
+            r.blocking_probability(1),
+            r.blocking_probability(0)
+        );
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::authority::synthetic_authority;
+    use fedval_core::ExperimentClass;
+
+    fn fed() -> Federation {
+        Federation::new(vec![synthetic_authority("A", 0, 6, 2, 2, 0)])
+    }
+
+    fn config(churn: Option<Churn>) -> SimConfig {
+        SimConfig {
+            horizon: 2000.0,
+            warmup: 200.0,
+            seed: 9,
+            churn,
+        }
+    }
+
+    #[test]
+    fn churn_availability_formula() {
+        let c = Churn {
+            mtbf: 9.0,
+            mttr: 1.0,
+        };
+        assert!((c.availability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_reduces_delivered_utility() {
+        let wl = Workload::single(ExperimentClass::simple("e", 2.0, 1.0), 2.0, 1.0);
+        let reliable = run_coalition(&fed(), Coalition::grand(1), &wl, &config(None));
+        let flaky = run_coalition(
+            &fed(),
+            Coalition::grand(1),
+            &wl,
+            &config(Some(Churn {
+                mtbf: 5.0,
+                mttr: 5.0, // 50% availability
+            })),
+        );
+        assert!(flaky.total_utility < reliable.total_utility);
+        assert!(flaky.disrupted_slivers > 0);
+        assert_eq!(reliable.disrupted_slivers, 0);
+    }
+
+    #[test]
+    fn mild_churn_is_mild() {
+        let wl = Workload::single(ExperimentClass::simple("e", 2.0, 1.0), 1.0, 0.5);
+        let reliable = run_coalition(&fed(), Coalition::grand(1), &wl, &config(None));
+        let mild = run_coalition(
+            &fed(),
+            Coalition::grand(1),
+            &wl,
+            &config(Some(Churn {
+                mtbf: 1000.0,
+                mttr: 0.1,
+            })),
+        );
+        // ~99.99% availability: utility within a few percent.
+        let ratio = mild.total_utility / reliable.total_utility;
+        assert!(ratio > 0.95, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn churn_runs_are_reproducible() {
+        let wl = Workload::single(ExperimentClass::simple("e", 2.0, 1.0), 2.0, 1.0);
+        let cfg = config(Some(Churn {
+            mtbf: 10.0,
+            mttr: 2.0,
+        }));
+        let a = run_coalition(&fed(), Coalition::grand(1), &wl, &cfg);
+        let b = run_coalition(&fed(), Coalition::grand(1), &wl, &cfg);
+        assert_eq!(a.total_utility, b.total_utility);
+        assert_eq!(a.disrupted_slivers, b.disrupted_slivers);
+    }
+}
+
+#[cfg(test)]
+mod p2p_measured_tests {
+    use super::*;
+    use crate::authority::synthetic_authority;
+    use crate::workload::ClassLoad;
+    use fedval_core::ExperimentClass;
+
+    #[test]
+    fn owned_classes_attribute_utility_to_their_authority() {
+        // Authority 0's users run wide experiments only the federation can
+        // host: the measured P2P route shows federation unblocking them.
+        let fed = Federation::new(vec![
+            synthetic_authority("A", 0, 4, 2, 2, 50),
+            synthetic_authority("B", 4, 4, 2, 2, 50),
+        ]);
+        let wl = Workload {
+            classes: vec![
+                ClassLoad::owned(0, ExperimentClass::simple("wide", 6.0, 1.0), 0.8, 0.5),
+                ClassLoad::owned(1, ExperimentClass::simple("small", 2.0, 1.0), 0.8, 0.5),
+            ],
+        };
+        let cfg = SimConfig {
+            horizon: 400.0,
+            warmup: 40.0,
+            seed: 3,
+            churn: None,
+        };
+        // A alone: 4 locations < 7 needed ⇒ its users get nothing.
+        let alone = run_coalition(&fed, Coalition::singleton(0), &wl, &cfg);
+        assert_eq!(alone.per_authority_utility[0], 0.0);
+        // Federated: A's users are served.
+        let grand = run_coalition(&fed, Coalition::grand(2), &wl, &cfg);
+        assert!(grand.per_authority_utility[0] > 0.0);
+        assert!(grand.per_authority_utility[1] > 0.0);
+        // Per-authority utilities add up to total for fully-owned loads.
+        let sum: f64 = grand.per_authority_utility.iter().sum();
+        assert!((sum - grand.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_classes_accrue_to_no_authority() {
+        let fed = Federation::new(vec![synthetic_authority("A", 0, 4, 2, 2, 0)]);
+        let wl = Workload::single(ExperimentClass::simple("e", 1.0, 1.0), 1.0, 0.5);
+        let cfg = SimConfig {
+            horizon: 200.0,
+            warmup: 20.0,
+            seed: 5,
+            churn: None,
+        };
+        let r = run_coalition(&fed, Coalition::grand(1), &wl, &cfg);
+        assert!(r.total_utility > 0.0);
+        assert_eq!(r.per_authority_utility[0], 0.0);
+    }
+}

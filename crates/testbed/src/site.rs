@@ -1,0 +1,89 @@
+//! Sites and nodes — PlanetLab's unit of contribution.
+//!
+//! A PlanetLab *site* (a university or research institution) contributes at
+//! least two *nodes* (servers) at its geographic location; in exchange its
+//! users may deploy slices across the whole facility (§1.2 of the paper).
+
+use fedval_core::LocationId;
+use serde::{Deserialize, Serialize};
+
+/// One server. `sliver_capacity` is how many concurrent slivers the node
+/// hosts with acceptable quality — the admission-control expression of
+/// PlanetLab's short-term fair-share scheduling (each of `k` slivers gets a
+/// `1/k` share; beyond the cap, shares are too small to be useful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Maximum concurrent slivers admitted.
+    pub sliver_capacity: u64,
+}
+
+impl Node {
+    /// A node admitting `sliver_capacity` concurrent slivers.
+    ///
+    /// # Panics
+    /// Panics if the capacity is zero.
+    pub fn new(sliver_capacity: u64) -> Node {
+        assert!(sliver_capacity > 0);
+        Node { sliver_capacity }
+    }
+}
+
+/// A contributing institution: ≥ 2 nodes at one location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Site name, e.g. "upmc" or "princeton".
+    pub name: String,
+    /// The site's geographic/network location.
+    pub location: LocationId,
+    /// The contributed nodes (PlanetLab requires at least two).
+    pub nodes: Vec<Node>,
+}
+
+impl Site {
+    /// Creates a site.
+    ///
+    /// # Panics
+    /// Panics if fewer than two nodes are contributed (the PlanetLab
+    /// membership requirement).
+    pub fn new(name: impl Into<String>, location: LocationId, nodes: Vec<Node>) -> Site {
+        assert!(nodes.len() >= 2, "a site must contribute at least 2 nodes");
+        Site {
+            name: name.into(),
+            location,
+            nodes,
+        }
+    }
+
+    /// A site with `n_nodes` identical nodes.
+    pub fn uniform(
+        name: impl Into<String>,
+        location: LocationId,
+        n_nodes: usize,
+        sliver_capacity: u64,
+    ) -> Site {
+        Site::new(name, location, vec![Node::new(sliver_capacity); n_nodes])
+    }
+
+    /// Total sliver capacity at this site (the site's `R` contribution).
+    pub fn total_sliver_capacity(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sliver_capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_capacity_sums_nodes() {
+        let s = Site::uniform("upmc", 7, 4, 5);
+        assert_eq!(s.total_sliver_capacity(), 20);
+        assert_eq!(s.location, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_node_sites() {
+        let _ = Site::new("tiny", 0, vec![Node::new(1)]);
+    }
+}

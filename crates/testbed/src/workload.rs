@@ -1,0 +1,168 @@
+//! Slice-request workloads: Poisson arrivals of the paper's experiment
+//! classes with stochastic holding times.
+
+use fedval_core::ExperimentClass;
+use fedval_desim::{Distribution, Exponential, SimRng};
+
+/// Arrival/holding specification for one experiment class.
+#[derive(Debug, Clone)]
+pub struct ClassLoad {
+    /// The experiment class (threshold, shape, r, t).
+    pub class: ExperimentClass,
+    /// Poisson arrival rate of slice requests of this class.
+    pub arrival_rate: f64,
+    /// Mean holding time; the class's `holding_time` attribute scaled by
+    /// the workload's base duration.
+    pub mean_holding: f64,
+    /// Owning authority (player index) for the P2P scenario — utility of
+    /// this class accrues to that authority's users. `None` models
+    /// external customers (the commercial scenario).
+    pub owner: Option<usize>,
+}
+
+impl ClassLoad {
+    /// External-customer load (no owner).
+    pub fn external(class: ExperimentClass, arrival_rate: f64, mean_holding: f64) -> ClassLoad {
+        ClassLoad {
+            class,
+            arrival_rate,
+            mean_holding,
+            owner: None,
+        }
+    }
+
+    /// Affiliated-user load owned by authority `owner`.
+    pub fn owned(
+        owner: usize,
+        class: ExperimentClass,
+        arrival_rate: f64,
+        mean_holding: f64,
+    ) -> ClassLoad {
+        ClassLoad {
+            class,
+            arrival_rate,
+            mean_holding,
+            owner: Some(owner),
+        }
+    }
+}
+
+/// A complete workload: a mixture of class loads.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The class loads.
+    pub classes: Vec<ClassLoad>,
+}
+
+/// One slice request materialized from the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceRequest {
+    /// Index into [`Workload::classes`].
+    pub class: usize,
+    /// Arrival instant.
+    pub arrival: f64,
+    /// Holding duration.
+    pub holding: f64,
+}
+
+impl Workload {
+    /// Builds a workload from the paper's canonical class mix, with
+    /// holding times proportional to each class's `t` attribute:
+    /// P2P (t = 0.1), CDN (t = 1), measurement (t = 0.4).
+    ///
+    /// `base_rate` is the total arrival rate across classes and
+    /// `base_holding` the holding time corresponding to `t = 1`.
+    pub fn planetlab_mix(base_rate: f64, base_holding: f64) -> Workload {
+        assert!(base_rate > 0.0 && base_holding > 0.0);
+        let classes = [
+            ExperimentClass::p2p(),
+            ExperimentClass::cdn(),
+            ExperimentClass::measurement(),
+        ];
+        let per_class_rate = base_rate / classes.len() as f64;
+        Workload {
+            classes: classes
+                .into_iter()
+                .map(|class| {
+                    let mean_holding = base_holding * class.holding_time;
+                    ClassLoad::external(class, per_class_rate, mean_holding)
+                })
+                .collect(),
+        }
+    }
+
+    /// A single-class workload (external customers).
+    pub fn single(class: ExperimentClass, arrival_rate: f64, mean_holding: f64) -> Workload {
+        Workload {
+            classes: vec![ClassLoad::external(class, arrival_rate, mean_holding)],
+        }
+    }
+
+    /// Total offered arrival rate.
+    pub fn total_rate(&self) -> f64 {
+        self.classes.iter().map(|c| c.arrival_rate).sum()
+    }
+
+    /// Materializes all slice requests in `[0, horizon)`, merged across
+    /// classes and sorted by arrival time. Holding times are exponential
+    /// with each class's mean.
+    pub fn generate(&self, horizon: f64, rng: &mut SimRng) -> Vec<SliceRequest> {
+        let mut requests = Vec::new();
+        for (k, load) in self.classes.iter().enumerate() {
+            if load.arrival_rate <= 0.0 {
+                continue;
+            }
+            let gap = Exponential::with_rate(load.arrival_rate);
+            let holding = Exponential::with_mean(load.mean_holding);
+            let mut t = 0.0;
+            loop {
+                t += gap.sample(rng);
+                if t >= horizon {
+                    break;
+                }
+                requests.push(SliceRequest {
+                    class: k,
+                    arrival: t,
+                    holding: holding.sample(rng),
+                });
+            }
+        }
+        requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite times"));
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planetlab_mix_reflects_paper_holding_times() {
+        let w = Workload::planetlab_mix(3.0, 10.0);
+        assert_eq!(w.classes.len(), 3);
+        assert!((w.total_rate() - 3.0).abs() < 1e-12);
+        assert!((w.classes[0].mean_holding - 1.0).abs() < 1e-12); // p2p 0.1
+        assert!((w.classes[1].mean_holding - 10.0).abs() < 1e-12); // cdn 1
+        assert!((w.classes[2].mean_holding - 4.0).abs() < 1e-12); // meas 0.4
+    }
+
+    #[test]
+    fn generate_is_sorted_and_bounded() {
+        let w = Workload::planetlab_mix(5.0, 1.0);
+        let mut rng = SimRng::seed_from(1);
+        let reqs = w.generate(100.0, &mut rng);
+        assert!(reqs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(reqs.iter().all(|r| r.arrival < 100.0 && r.holding > 0.0));
+        // Expected count ≈ 500 ± 3σ.
+        let n = reqs.len() as f64;
+        assert!((n - 500.0).abs() < 3.0 * 500.0f64.sqrt(), "n = {n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w = Workload::single(ExperimentClass::p2p(), 2.0, 1.0);
+        let a = w.generate(50.0, &mut SimRng::seed_from(7));
+        let b = w.generate(50.0, &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Policy design: sweep the expected demand mixture, compute off-line
+//! Shapley weights for each mixture, inspect provision incentives
+//! (the Fig. 9 experiment), and find the provision-game equilibrium under
+//! different sharing schemes.
+//!
+//! ```text
+//! cargo run --release --example policy_design
+//! ```
+
+use fedval::core::LocationOffer;
+use fedval::policy::{best_response_dynamics, incentive_curve, peak_marginal};
+use fedval::{
+    paper_facilities, paper_facilities_with_locations, CostModel, Demand, ExperimentClass,
+    Facility, FederationScenario, SharingScheme,
+};
+
+fn main() {
+    // --- 1. Off-line Shapley weights per expected demand mixture --------
+    println!("== Shapley weights vs expected demand mixture ==");
+    println!("(two classes: bulk l = 0 vs diversity-hungry l = 700; K = 60)");
+    println!(
+        "{:>6} {:>24} {:>24}",
+        "sigma", "shapley (s1 s2 s3)", "proportional"
+    );
+    for sigma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let scenario = FederationScenario::new(
+            paper_facilities([80, 50, 30]),
+            Demand::mixture(
+                ExperimentClass::simple("bulk", 0.0, 1.0),
+                ExperimentClass::simple("diverse", 700.0, 1.0),
+                60,
+                sigma,
+            ),
+        );
+        let phi = scenario.shapley_shares();
+        let pi = scenario.proportional_shares();
+        println!(
+            "{sigma:>6.2} {:>7.3} {:>7.3} {:>8.3} {:>7.3} {:>7.3} {:>8.3}",
+            phi[0], phi[1], phi[2], pi[0], pi[1], pi[2]
+        );
+    }
+    println!();
+    println!("The organizer can install these phi weights as fixed policy");
+    println!("parameters (SharingScheme::Fixed) matched to the expected mixture.\n");
+
+    // --- 2. Provision incentives around thresholds (Fig. 9) -------------
+    println!("== provision incentives: facility 1 payoff vs L1 (l = 800) ==");
+    let make = |l1: u32| paper_facilities_with_locations([l1, 400, 800], [80, 60, 20]);
+    let demand = Demand::capacity_filling(ExperimentClass::simple("e", 800.0, 1.0));
+    let levels: Vec<u32> = (0..=20).map(|k| k * 50).collect();
+    for scheme in [SharingScheme::Shapley, SharingScheme::Proportional] {
+        let curve = incentive_curve(&make, &demand, &scheme, 0, &levels);
+        println!(
+            "{:>13}: payoff(L1=0) = {:>9.0}, payoff(L1=1000) = {:>9.0}, sharpest step = {:>9.0}",
+            scheme.name(),
+            curve.first().unwrap().payoff,
+            curve.last().unwrap().payoff,
+            peak_marginal(&curve) * 50.0
+        );
+    }
+    println!();
+    println!("Shapley concentrates reward exactly where new coalitions become");
+    println!("viable — strong provision incentives, at some risk of instability");
+    println!("around the jump (the paper's §4.4 caveat).\n");
+
+    // --- 3. The provision game equilibrium -------------------------------
+    println!("== provision-game equilibrium (best-response dynamics) ==");
+    let grid = vec![vec![50u32, 100, 200, 400]; 3];
+    let make_facility = |i: usize, l: u32| -> Facility {
+        Facility::new(
+            format!("f{i}"),
+            LocationOffer::contiguous(i as u32 * 10_000, l, 1),
+        )
+    };
+    let eq_demand = Demand::one_experiment(ExperimentClass::simple("e", 0.0, 1.0));
+    let cost = CostModel {
+        alpha: 0.45,
+        beta: 0.0,
+        gamma: 0.0,
+        federation_fixed: 0.0,
+    };
+    for scheme in [
+        SharingScheme::Proportional,
+        SharingScheme::Shapley,
+        SharingScheme::Equal,
+    ] {
+        let eq = best_response_dynamics(&grid, &make_facility, &eq_demand, &scheme, &cost, 30);
+        let provision: Vec<u32> = eq.strategy.iter().map(|&s| grid[0][s]).collect();
+        println!(
+            "{:>13}: equilibrium provision = {:?} (converged: {}, sweeps: {})",
+            scheme.name(),
+            provision,
+            eq.converged,
+            eq.iterations
+        );
+    }
+    println!();
+    println!("Contribution-sensitive schemes sustain full provision; the equal");
+    println!("split free-rides its way to minimal contributions.");
+}

@@ -1,0 +1,251 @@
+//! `fedval` — command-line front end for federation policy design.
+//!
+//! Build a scenario from flags, then print coalition values, shares under
+//! every scheme, and the stability report:
+//!
+//! ```text
+//! fedval report --locations 100,400,800 --threshold 500
+//! fedval shares --locations 100,400,800 --capacities 80,60,20 \
+//!               --threshold 250 --volume 40 --scheme shapley
+//! fedval values --locations 100,400,800 --threshold 500
+//! ```
+//!
+//! Defaults reproduce the paper's §4.1 worked example.
+
+use fedval::policy::policy_report;
+use fedval::{
+    Coalition, CoalitionalGame, Demand, ExperimentClass, Facility, FederationScenario,
+    SharingScheme, Volume,
+};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    command: String,
+    locations: Vec<u32>,
+    capacities: Vec<u64>,
+    threshold: f64,
+    shape: f64,
+    volume: Option<u64>, // None = capacity-filling
+    scheme: String,
+}
+
+fn usage() -> &'static str {
+    "usage: fedval <report|shares|values> [options]\n\
+     \n\
+     options:\n\
+       --locations  L1,L2,...   locations per facility   (default 100,400,800)\n\
+       --capacities R1,R2,...   capacity per location    (default 1,1,...)\n\
+       --threshold  l           diversity threshold      (default 500)\n\
+       --shape      d           utility exponent         (default 1)\n\
+       --volume     K           number of experiments; omit for one,\n\
+                                'fill' for capacity-filling demand\n\
+       --scheme     name        shapley|proportional|consumption|\n\
+                                nucleolus|equal          (default shapley)\n"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        command: args.first().cloned().ok_or_else(|| usage().to_string())?,
+        locations: vec![100, 400, 800],
+        capacities: Vec::new(),
+        threshold: 500.0,
+        shape: 1.0,
+        volume: Some(1),
+        scheme: "shapley".to_string(),
+    };
+    if !matches!(opts.command.as_str(), "report" | "shares" | "values") {
+        return Err(format!("unknown command '{}'\n\n{}", opts.command, usage()));
+    }
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--locations" => {
+                opts.locations = value
+                    .split(',')
+                    .map(|v| v.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--locations: {e}"))?;
+            }
+            "--capacities" => {
+                opts.capacities = value
+                    .split(',')
+                    .map(|v| v.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--capacities: {e}"))?;
+            }
+            "--threshold" => {
+                opts.threshold = value.parse().map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--shape" => {
+                opts.shape = value.parse().map_err(|e| format!("--shape: {e}"))?;
+            }
+            "--volume" => {
+                opts.volume = if value == "fill" {
+                    None
+                } else {
+                    Some(value.parse().map_err(|e| format!("--volume: {e}"))?)
+                };
+            }
+            "--scheme" => {
+                opts.scheme = value.clone();
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
+        }
+    }
+    if opts.locations.is_empty() || opts.locations.len() > 12 {
+        return Err("need between 1 and 12 facilities".to_string());
+    }
+    if opts.capacities.is_empty() {
+        opts.capacities = vec![1; opts.locations.len()];
+    }
+    if opts.capacities.len() != opts.locations.len() {
+        return Err("--capacities must match --locations in length".to_string());
+    }
+    Ok(opts)
+}
+
+fn build_scenario(opts: &Options) -> FederationScenario {
+    let mut start = 0u32;
+    let facilities: Vec<Facility> = opts
+        .locations
+        .iter()
+        .zip(&opts.capacities)
+        .enumerate()
+        .map(|(i, (&l, &r))| {
+            let f = Facility::uniform(format!("facility-{}", i + 1), start, l, r);
+            start += l;
+            f
+        })
+        .collect();
+    let class = ExperimentClass::simple("cli", opts.threshold, opts.shape);
+    let demand = match opts.volume {
+        Some(1) => Demand::one_experiment(class),
+        Some(k) => Demand::single(class, Volume::Count(k)),
+        None => Demand::capacity_filling(class),
+    };
+    FederationScenario::new(facilities, demand)
+}
+
+fn scheme_from_name(name: &str) -> Result<SharingScheme, String> {
+    Ok(match name {
+        "shapley" => SharingScheme::Shapley,
+        "proportional" => SharingScheme::Proportional,
+        "consumption" => SharingScheme::Consumption,
+        "nucleolus" => SharingScheme::Nucleolus,
+        "equal" => SharingScheme::Equal,
+        other => return Err(format!("unknown scheme '{other}'")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse(&args)?;
+    let scenario = build_scenario(&opts);
+    let n = scenario.facilities().len();
+
+    match opts.command.as_str() {
+        "values" => {
+            println!("{:>16} {:>14}", "coalition", "V(S)");
+            for c in Coalition::all(n).filter(|c| !c.is_empty()) {
+                let label: Vec<String> = c.players().map(|p| (p + 1).to_string()).collect();
+                println!(
+                    "{:>16} {:>14.2}",
+                    format!("{{{}}}", label.join(",")),
+                    scenario.game().value(c)
+                );
+            }
+        }
+        "shares" => {
+            let scheme = scheme_from_name(&opts.scheme)?;
+            let shares = scheme.shares(&scenario);
+            let payoffs = scenario.payoffs(&shares);
+            println!(
+                "scheme: {} — V(N) = {:.2}",
+                scheme.name(),
+                scenario.grand_value()
+            );
+            println!("{:>10} {:>10} {:>14}", "facility", "share", "payoff");
+            for i in 0..n {
+                println!("{:>10} {:>10.4} {:>14.2}", i + 1, shares[i], payoffs[i]);
+            }
+        }
+        "report" => {
+            print!("{}", policy_report(&scenario).render());
+        }
+        _ => unreachable!("validated in parse"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_reproduce_worked_example() {
+        let opts = parse(&args(&["shares"])).unwrap();
+        let scenario = build_scenario(&opts);
+        assert_eq!(scenario.grand_value(), 1300.0);
+        assert!((scenario.shapley_shares()[1] - 2.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = parse(&args(&[
+            "report",
+            "--locations",
+            "10,20,30",
+            "--capacities",
+            "2,2,2",
+            "--threshold",
+            "25",
+            "--shape",
+            "0.8",
+            "--volume",
+            "fill",
+            "--scheme",
+            "nucleolus",
+        ]))
+        .unwrap();
+        assert_eq!(opts.locations, vec![10, 20, 30]);
+        assert_eq!(opts.capacities, vec![2, 2, 2]);
+        assert_eq!(opts.threshold, 25.0);
+        assert_eq!(opts.shape, 0.8);
+        assert_eq!(opts.volume, None);
+        assert!(scheme_from_name(&opts.scheme).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["shares", "--locations"])).is_err());
+        assert!(parse(&args(&["shares", "--locations", "1,x"])).is_err());
+        assert!(parse(&args(&["shares", "--capacities", "1,2"])).is_err());
+        assert!(scheme_from_name("venetian").is_err());
+        assert!(parse(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn capacity_default_matches_facility_count() {
+        let opts = parse(&args(&["values", "--locations", "5,6,7,8"])).unwrap();
+        assert_eq!(opts.capacities, vec![1; 4]);
+    }
+}

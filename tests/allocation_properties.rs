@@ -1,0 +1,156 @@
+//! Property-based tests of the allocation engine: the analytic optimizer
+//! must agree with the exhaustive reference solver on every small random
+//! instance, and the greedy baselines must never beat the optimum.
+
+use fedval::core::allocation::{
+    is_realizable, max_total_sizes, solve, solve_exact, solve_greedy, GreedyPolicy,
+};
+use fedval::core::CapacityProfile;
+use fedval::{Demand, ExperimentClass, Volume};
+use proptest::prelude::*;
+
+fn small_profile() -> impl Strategy<Value = CapacityProfile> {
+    // 1–3 capacity groups with at most 8 total slots, so the exhaustive
+    // reference solver (experiment budget 8) covers the full optimum even
+    // for threshold-0 concave demand, where one experiment per slot is
+    // optimal.
+    prop::collection::vec((1u64..=4, 1u64..=4), 1..=3).prop_map(|mut groups| {
+        let mut remaining_slots = 8u64;
+        for (cap, count) in &mut groups {
+            let max_count = remaining_slots / *cap;
+            *count = (*count).min(max_count);
+            remaining_slots -= *cap * *count;
+        }
+        groups.retain(|&(_, c)| c > 0);
+        if groups.is_empty() {
+            groups.push((1, 1));
+        }
+        CapacityProfile::from_groups(groups)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analytic_matches_exact_single_class(
+        profile in small_profile(),
+        threshold in 0u64..6,
+        volume in 1u64..6,
+        capacity_filling in any::<bool>(),
+    ) {
+        let vol = if capacity_filling {
+            Volume::CapacityFilling
+        } else {
+            Volume::Count(volume)
+        };
+        let demand = Demand::single(
+            ExperimentClass::simple("x", threshold as f64, 1.0),
+            vol,
+        );
+        let exact = solve_exact(&profile, &demand);
+        let fast = solve(&profile, &demand).unwrap();
+        prop_assert!(
+            (exact.total_utility - fast.total_utility).abs() < 1e-9,
+            "profile {:?} l={} vol={:?}: exact {} analytic {}",
+            profile.groups(), threshold, vol,
+            exact.total_utility, fast.total_utility
+        );
+    }
+
+    #[test]
+    fn analytic_matches_exact_nonlinear_shapes(
+        profile in small_profile(),
+        threshold in 0u64..4,
+        shape_id in 0usize..4,
+    ) {
+        let d = [0.5, 0.8, 1.5, 2.0][shape_id];
+        let demand = Demand::single(
+            ExperimentClass::simple("x", threshold as f64, d),
+            Volume::CapacityFilling,
+        );
+        let exact = solve_exact(&profile, &demand);
+        let fast = solve(&profile, &demand).unwrap();
+        prop_assert!(
+            (exact.total_utility - fast.total_utility).abs() < 1e-9,
+            "profile {:?} l={} d={}: exact {} analytic {}",
+            profile.groups(), threshold, d,
+            exact.total_utility, fast.total_utility
+        );
+    }
+
+    #[test]
+    fn analytic_matches_exact_two_class_mixture(
+        profile in small_profile(),
+        l2 in 1u64..6,
+        k1 in 0u64..4,
+        k2 in 0u64..4,
+    ) {
+        let demand = Demand {
+            components: vec![
+                fedval::core::DemandComponent {
+                    class: ExperimentClass::simple("a", 0.0, 1.0),
+                    volume: Volume::Count(k1),
+                },
+                fedval::core::DemandComponent {
+                    class: ExperimentClass::simple("b", l2 as f64, 1.0),
+                    volume: Volume::Count(k2),
+                },
+            ],
+        };
+        let exact = solve_exact(&profile, &demand);
+        let fast = solve(&profile, &demand).unwrap();
+        prop_assert!(
+            (exact.total_utility - fast.total_utility).abs() < 1e-9,
+            "profile {:?} l2={} k=({},{}): exact {} analytic {}",
+            profile.groups(), l2, k1, k2,
+            exact.total_utility, fast.total_utility
+        );
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal(
+        profile in small_profile(),
+        threshold in 0u64..5,
+    ) {
+        let demand = Demand::single(
+            ExperimentClass::simple("x", threshold as f64, 1.0),
+            Volume::CapacityFilling,
+        );
+        let optimal = solve(&profile, &demand).unwrap().total_utility;
+        for policy in [GreedyPolicy::MaxDiversity, GreedyPolicy::Minimal] {
+            let g = solve_greedy(&profile, &demand, policy).total_utility;
+            prop_assert!(g <= optimal + 1e-9, "{policy:?}: {g} > {optimal}");
+        }
+    }
+
+    #[test]
+    fn max_total_output_is_realizable_and_bound_respecting(
+        profile in small_profile(),
+        m in 1usize..6,
+        lb in 1u64..4,
+    ) {
+        let lbs = vec![lb; m];
+        let ubs = vec![profile.n_locations(); m];
+        if let Some(sizes) = max_total_sizes(&profile, &lbs, &ubs) {
+            prop_assert!(is_realizable(&sizes, &profile));
+            prop_assert!(sizes.iter().all(|&x| x >= lb));
+            prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+            // Optimality against exhaustive search over totals.
+            let exact = solve_exact(
+                &profile,
+                &Demand::single(
+                    ExperimentClass::simple("x", (lb - 1) as f64, 1.0),
+                    Volume::Count(m as u64),
+                ),
+            );
+            let total: u64 = sizes.iter().sum();
+            prop_assert!(
+                total as f64 >= exact.total_utility - 1e-9
+                    || exact.per_class[0].admitted < m as u64,
+                "greedy total {total} below exhaustive {} at full admission",
+                exact.total_utility
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end tests of the `fedval` CLI binary (spawned as a real
+//! process via the path Cargo exports to integration tests).
+
+use std::process::Command;
+
+fn fedval(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fedval"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn shares_defaults_print_the_worked_example() {
+    let (stdout, _, ok) = fedval(&["shares"]);
+    assert!(ok);
+    assert!(stdout.contains("V(N) = 1300.00"), "{stdout}");
+    assert!(stdout.contains("0.1538"), "phi_hat_2 = 2/13: {stdout}");
+}
+
+#[test]
+fn values_lists_every_coalition() {
+    let (stdout, _, ok) = fedval(&["values", "--locations", "10,20", "--threshold", "15"]);
+    assert!(ok);
+    assert!(stdout.contains("{1}"));
+    assert!(stdout.contains("{1,2}"));
+    // V({2}) = 20 (20 > 15), V({1,2}) = 30.
+    assert!(stdout.contains("20.00"));
+    assert!(stdout.contains("30.00"));
+}
+
+#[test]
+fn report_includes_all_schemes_and_recommendation() {
+    let (stdout, _, ok) = fedval(&[
+        "report",
+        "--capacities",
+        "80,60,20",
+        "--threshold",
+        "250",
+        "--volume",
+        "40",
+    ]);
+    assert!(ok);
+    for scheme in ["shapley", "proportional", "consumption", "nucleolus", "equal"] {
+        assert!(stdout.contains(scheme), "missing {scheme}: {stdout}");
+    }
+    assert!(stdout.contains("recommended:"));
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    let (_, stderr, ok) = fedval(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (_, stderr, ok) = fedval(&["shares", "--locations", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("--locations"));
+}
+
+#[test]
+fn nucleolus_scheme_via_cli() {
+    let (stdout, _, ok) = fedval(&["shares", "--scheme", "nucleolus"]);
+    assert!(ok);
+    assert!(stdout.contains("nucleolus"));
+    // Payoffs must sum to V(N) = 1300 — sum the payoff column of the
+    // facility rows (lines whose first token is the facility index).
+    let total: f64 = stdout
+        .lines()
+        .filter(|l| {
+            l.split_whitespace()
+                .next()
+                .is_some_and(|t| t.parse::<u32>().is_ok())
+        })
+        .filter_map(|l| l.split_whitespace().last())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum();
+    assert!((total - 1300.0).abs() < 1.0, "payoff column sums to {total}");
+}

@@ -1,0 +1,72 @@
+//! The full figure-reproduction acceptance suite: every qualitative claim
+//! the paper makes about its evaluation figures must hold on the
+//! regenerated series, plus exact spot values where the paper (or the
+//! closed-form derivation) pins them down.
+
+use fedval_bench::{check_all, fig4_threshold, fig6_resources, fig8_volume, table_e1};
+
+#[test]
+fn all_paper_claims_hold() {
+    let results = check_all();
+    assert_eq!(results.len(), 8, "one check set per table/figure");
+    for r in &results {
+        for (desc, ok) in &r.assertions {
+            assert!(ok, "{}: {desc}", r.id);
+        }
+    }
+}
+
+#[test]
+fn table_e1_exact_values() {
+    let t = table_e1();
+    // Hand-computed marginal contributions over the 6 orderings:
+    //   ϕ₁ = (0 + 0 + 0 + 100 + 100 + 100)/6 = 50      → ϕ̂₁ = 1/26
+    //   ϕ₂ = (0 + 0 + 0 + 400 + 400 + 400)/6 = 200     → ϕ̂₂ = 2/13
+    //   ϕ₃ = 1300 − 50 − 200 = 1050 (efficiency)       → ϕ̂₃ = 21/26
+    assert!(
+        (t.shapley_hat[0] - 1.0 / 26.0).abs() < 1e-12,
+        "{}",
+        t.shapley_hat[0]
+    );
+    assert!((t.shapley_hat[1] - 2.0 / 13.0).abs() < 1e-12);
+    assert!((t.shapley_hat[2] - 21.0 / 26.0).abs() < 1e-12);
+    let sum: f64 = t.shapley_hat.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig4_grid_and_series_dimensions() {
+    let fig = fig4_threshold();
+    assert_eq!(fig.series.len(), 6);
+    for s in &fig.series {
+        assert_eq!(s.points.len(), 29, "l = 0..=1400 step 50");
+    }
+}
+
+#[test]
+fn fig6_closed_form_spot_values() {
+    // Derived in DESIGN.md: coalition {1,2} at l=299 has V = 12000, the
+    // grand coalition at l=0 has V = 24000 (all slots).
+    let fig = fig6_resources();
+    // At l = 0 all ϕ̂ equal 1/3 — already covered by checks; here pin the
+    // sum-to-one at a mid threshold.
+    for l in [300.0, 600.0, 900.0] {
+        let total: f64 = (1..=3)
+            .map(|i| fig.series(&format!("phi_hat_{i}")).unwrap().at(l).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "l = {l}: {total}");
+    }
+}
+
+#[test]
+fn fig8_consumption_transitions_between_regimes() {
+    let fig = fig8_volume();
+    let rho1 = fig.series("rho_hat_1").unwrap();
+    // Low-K regime: ρ̂₁ = L₁/ΣL = 100/1300; saturation: π̂₁ = 8000/48000.
+    assert!((rho1.at(5.0).unwrap() - 100.0 / 1300.0).abs() < 1e-9);
+    assert!((rho1.at(100.0).unwrap() - 8000.0 / 48000.0).abs() < 1e-2);
+    // The transition is monotone increasing for facility 1 (its capacity
+    // share exceeds its location share).
+    let ys: Vec<f64> = rho1.points.iter().skip(1).map(|&(_, y)| y).collect();
+    assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{ys:?}");
+}
