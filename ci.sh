@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 gate + panic-discipline lint.
+#
+#   ./ci.sh            build, test, clippy
+#
+# The clippy stage enforces the no-panic rule on the solver crates'
+# non-test code: unwrap()/expect() are denied in fedval-simplex,
+# fedval-core, fedval-coalition, and fedval-desim (tests are exempt —
+# clippy does not lint #[cfg(test)] code with these lints promoted only
+# for lib targets).
+set -eu
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "== clippy panic-discipline (solver crates, lib targets only)"
+for crate in fedval-simplex fedval-core fedval-coalition fedval-desim; do
+    echo "--  $crate"
+    cargo clippy -q -p "$crate" --lib --release -- \
+        -D clippy::unwrap_used \
+        -D clippy::expect_used
+done
+
+echo "ci.sh: all green"

@@ -15,6 +15,7 @@
 //! the simplex solver on every game we throw at it.
 
 use crate::coalition::Coalition;
+use crate::error::GameError;
 use crate::game::CoalitionalGame;
 use fedval_simplex::{LinearProgram, Objective, Relation, Status};
 
@@ -38,11 +39,25 @@ impl Balancedness {
 /// Solves the Bondareva–Shapley LP.
 ///
 /// # Panics
-/// Panics if `n == 0` or `n > 16` (the LP has `2^n − 2` variables).
+/// Panics where [`try_balancedness`] would return an error: `n == 0`,
+/// `n > 16` (the LP has `2^n − 2` variables), or an internal LP failure.
 pub fn balancedness<G: CoalitionalGame>(game: &G) -> Balancedness {
+    match try_balancedness(game) {
+        Ok(b) => b,
+        Err(e) => panic!("balancedness: {e}"),
+    }
+}
+
+/// Solves the Bondareva–Shapley LP, reporting failures as [`GameError`]
+/// instead of panicking.
+pub fn try_balancedness<G: CoalitionalGame>(game: &G) -> Result<Balancedness, GameError> {
     let n = game.n_players();
-    assert!(n >= 1, "need at least one player");
-    assert!(n <= 16, "balancedness LP limited to n ≤ 16");
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if n > 16 {
+        return Err(GameError::TooManyPlayers { n, max: 16 });
+    }
 
     let grand = Coalition::grand(n);
     let proper: Vec<Coalition> = Coalition::all(n)
@@ -50,10 +65,10 @@ pub fn balancedness<G: CoalitionalGame>(game: &G) -> Balancedness {
         .collect();
     if proper.is_empty() {
         // Single player: the only cover is {N} itself.
-        return Balancedness {
+        return Ok(Balancedness {
             best_cover_value: game.grand_value(),
             weights: vec![(grand, 1.0)],
-        };
+        });
     }
 
     // One variable per proper coalition, plus one for the grand coalition
@@ -74,12 +89,17 @@ pub fn balancedness<G: CoalitionalGame>(game: &G) -> Balancedness {
         row[proper.len()] = 1.0; // N contains everyone
         lp.add_constraint(row, Relation::Eq, 1.0);
     }
-    let sol = lp.solve().expect("balancedness LP is well-formed");
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "balancedness LP is feasible (λ_N = 1) and bounded"
-    );
+    let sol = lp.solve().map_err(|source| GameError::MalformedLp {
+        context: "balancedness",
+        source,
+    })?;
+    // Feasible (λ_N = 1) and bounded, so anything but Optimal is numerical.
+    if sol.status != Status::Optimal {
+        return Err(GameError::LpNotOptimal {
+            context: "balancedness",
+            status: sol.status,
+        });
+    }
     let mut weights: Vec<(Coalition, f64)> = proper
         .iter()
         .enumerate()
@@ -89,10 +109,10 @@ pub fn balancedness<G: CoalitionalGame>(game: &G) -> Balancedness {
     if sol.x[proper.len()] > 1e-9 {
         weights.push((grand, sol.x[proper.len()]));
     }
-    Balancedness {
+    Ok(Balancedness {
         best_cover_value: sol.objective,
         weights,
-    }
+    })
 }
 
 /// Core non-emptiness via Bondareva–Shapley (an independent route from

@@ -16,6 +16,7 @@
 //! PlanetLab federations (PLC, PLE, PLJ, plus a few joining testbeds).
 
 use crate::coalition::Coalition;
+use crate::error::GameError;
 use crate::game::CoalitionalGame;
 use fedval_simplex::{LinearProgram, Objective, Relation, Status};
 
@@ -59,17 +60,31 @@ pub fn excess<G: CoalitionalGame>(game: &G, x: &[f64], s: Coalition) -> f64 {
 /// Solves the least-core LP.
 ///
 /// # Panics
-/// Panics if `n == 0` or `n > 16` (LP size `2^n` becomes impractical).
+/// Panics where [`try_least_core`] would return an error: `n == 0`, `n > 16`
+/// (LP size `2^n` becomes impractical), or an internal LP failure.
 pub fn least_core<G: CoalitionalGame>(game: &G) -> LeastCore {
+    match try_least_core(game) {
+        Ok(lc) => lc,
+        Err(e) => panic!("least_core: {e}"),
+    }
+}
+
+/// Solves the least-core LP, reporting failures as [`GameError`] instead of
+/// panicking — the entry point for degraded-mode pipelines.
+pub fn try_least_core<G: CoalitionalGame>(game: &G) -> Result<LeastCore, GameError> {
     let n = game.n_players();
-    assert!(n >= 1, "need at least one player");
-    assert!(n <= 16, "least-core LP limited to n ≤ 16");
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if n > 16 {
+        return Err(GameError::TooManyPlayers { n, max: 16 });
+    }
 
     if n == 1 {
-        return LeastCore {
+        return Ok(LeastCore {
             epsilon: 0.0,
             allocation: vec![game.grand_value()],
-        };
+        });
     }
 
     // Variables: free xᵢ (as plus/minus pairs) and free ε.
@@ -108,20 +123,27 @@ pub fn least_core<G: CoalitionalGame>(game: &G) -> LeastCore {
         game.grand_value(),
     );
 
-    let sol = lp.solve().expect("least-core LP is well-formed");
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "least-core LP is always feasible and bounded"
-    );
+    let sol = lp.solve().map_err(|source| GameError::MalformedLp {
+        context: "least core",
+        source,
+    })?;
+    // The LP is always feasible (spread V(N) evenly, take ε large) and
+    // bounded (ε ≥ max excess at any efficient point), so anything but
+    // Optimal is a numerical failure worth surfacing.
+    if sol.status != Status::Optimal {
+        return Err(GameError::LpNotOptimal {
+            context: "least core",
+            status: sol.status,
+        });
+    }
     let allocation = x_pairs
         .iter()
         .map(|&pair| LinearProgram::free_value(&sol.x, pair))
         .collect();
-    LeastCore {
+    Ok(LeastCore {
         epsilon: LinearProgram::free_value(&sol.x, eps_pair),
         allocation,
-    }
+    })
 }
 
 /// Whether the core is non-empty (least-core ε\* ≤ tolerance).
@@ -220,6 +242,22 @@ mod tests {
         assert!((excess(&g, &[1.0, 2.0, 3.0], s) - 0.0).abs() < 1e-12);
         assert!(excess(&g, &[0.0, 0.0, 6.0], s) > 0.0); // S complains
         assert!(excess(&g, &[3.0, 3.0, 0.0], s) < 0.0); // S over-served
+    }
+
+    #[test]
+    fn try_least_core_reports_nonfinite_games() {
+        // A NaN characteristic value must become a typed error, not a panic.
+        let g = FnGame::new(3, |c: Coalition| if c.len() == 2 { f64::NAN } else { 1.0 });
+        assert!(matches!(
+            try_least_core(&g),
+            Err(GameError::MalformedLp { context: "least core", .. })
+        ));
+    }
+
+    #[test]
+    fn try_least_core_rejects_empty_game() {
+        let g = FnGame::new(0, |_: Coalition| 0.0);
+        assert_eq!(try_least_core(&g).unwrap_err(), GameError::NoPlayers);
     }
 
     #[test]

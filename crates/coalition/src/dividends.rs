@@ -83,7 +83,7 @@ pub fn top_synergies<G: CoalitionalGame>(game: &G, k: usize) -> Vec<(Coalition, 
         .map(|(mask, &v)| (Coalition(mask as u64), v))
         .filter(|(c, _)| c.len() >= 2)
         .collect();
-    entries.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite dividends"));
+    entries.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
     entries.truncate(k);
     entries
 }

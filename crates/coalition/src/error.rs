@@ -1,0 +1,102 @@
+//! Typed failures for the coalition solution concepts.
+//!
+//! Every LP-backed concept (`least_core`, `nucleolus`, `balancedness`) has a
+//! `try_*` entry point returning [`GameError`] instead of panicking, so the
+//! federation pipeline can degrade gracefully when a characteristic function
+//! is numerically hostile (NaN values from a faulted simulation, degenerate
+//! stage LPs, ...). The original panicking names remain as thin wrappers for
+//! callers that prefer the old contract.
+
+use fedval_simplex::{ProblemError, Status};
+use std::fmt;
+
+/// Why a coalition solution concept could not be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// The game has no players.
+    NoPlayers,
+    /// The player count exceeds what the algorithm can enumerate.
+    TooManyPlayers {
+        /// Players in the game.
+        n: usize,
+        /// Maximum the algorithm supports.
+        max: usize,
+    },
+    /// An internal LP was rejected as malformed — in practice this means the
+    /// characteristic function produced NaN or infinite values.
+    MalformedLp {
+        /// Which computation built the LP.
+        context: &'static str,
+        /// The underlying validation failure.
+        source: ProblemError,
+    },
+    /// An internal LP terminated without reaching an optimum (infeasible,
+    /// unbounded, or stalled on numerical degeneracy).
+    LpNotOptimal {
+        /// Which computation ran the LP.
+        context: &'static str,
+        /// The solver's terminal status.
+        status: Status,
+    },
+    /// An iterative scheme stopped making progress before convergence.
+    NumericallyStuck {
+        /// Which computation got stuck.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::NoPlayers => write!(f, "game has no players"),
+            GameError::TooManyPlayers { n, max } => {
+                write!(f, "game has {n} players but the algorithm supports at most {max}")
+            }
+            GameError::MalformedLp { context, source } => {
+                write!(f, "{context}: internal LP malformed: {source}")
+            }
+            GameError::LpNotOptimal { context, status } => {
+                write!(f, "{context}: internal LP ended {status:?} instead of optimal")
+            }
+            GameError::NumericallyStuck { context } => {
+                write!(f, "{context}: no progress between iterations (numerical degeneracy)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GameError::MalformedLp { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = GameError::LpNotOptimal {
+            context: "least core",
+            status: Status::Stalled,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("least core"), "{msg}");
+        assert!(msg.contains("Stalled"), "{msg}");
+    }
+
+    #[test]
+    fn source_is_exposed_for_malformed_lp() {
+        use std::error::Error;
+        let e = GameError::MalformedLp {
+            context: "nucleolus",
+            source: ProblemError::NonFiniteInput,
+        };
+        assert!(e.source().is_some());
+        assert!(GameError::NoPlayers.source().is_none());
+    }
+}

@@ -39,7 +39,7 @@ impl AirportGame {
     pub fn shapley_costs(&self) -> Vec<f64> {
         let n = self.costs.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| self.costs[a].partial_cmp(&self.costs[b]).expect("finite"));
+        order.sort_by(|&a, &b| self.costs[a].total_cmp(&self.costs[b]));
         let mut phi = vec![0.0; n];
         let mut prev_cost = 0.0;
         for (rank, &p) in order.iter().enumerate() {

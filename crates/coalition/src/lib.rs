@@ -34,7 +34,9 @@ mod balancedness;
 mod banzhaf;
 mod coalition;
 mod core_solution;
+mod diagnostics;
 mod dividends;
+mod error;
 mod game;
 pub mod games;
 mod interaction;
@@ -46,18 +48,21 @@ mod stratified;
 mod tau;
 mod weighted;
 
-pub use balancedness::{balancedness, is_balanced, Balancedness};
+pub use balancedness::{balancedness, is_balanced, try_balancedness, Balancedness};
 pub use banzhaf::{banzhaf, banzhaf_normalized, banzhaf_player};
 pub use coalition::{Coalition, PlayerId, Players, Subsets, MAX_PLAYERS};
 pub use core_solution::{
-    excess, is_core_nonempty, is_in_core, is_in_epsilon_core, least_core, LeastCore, CORE_TOL,
+    excess, is_core_nonempty, is_in_core, is_in_epsilon_core, least_core, try_least_core,
+    LeastCore, CORE_TOL,
 };
+pub use diagnostics::{CoalitionDiagnostics, GameDiagnostics, ValueSource};
+pub use error::GameError;
 pub use dividends::{
     harsanyi_dividends, shapley_from_dividends, top_synergies, values_from_dividends,
 };
 pub use game::{check_zero_normalized_empty, CachedGame, CoalitionalGame, FnGame, TableGame};
 pub use interaction::{interaction_matrix, strongest_complements};
-pub use nucleolus::nucleolus;
+pub use nucleolus::{nucleolus, try_nucleolus};
 pub use owen::{owen_value, owen_value_normalized, quotient_game};
 pub use properties::{
     analyze, is_convex, is_essential, is_monotone, is_superadditive, GameProperties,

@@ -19,6 +19,7 @@
 //! practical for the `n ≤ ~10` federations the paper targets.
 
 use crate::coalition::Coalition;
+use crate::error::GameError;
 use crate::game::CoalitionalGame;
 use fedval_simplex::{LinearProgram, Objective, Relation, Status};
 
@@ -28,15 +29,28 @@ const TOL: f64 = 1e-7;
 /// Computes the nucleolus allocation.
 ///
 /// # Panics
-/// Panics if `n == 0` or `n > 12` (LP cascade becomes impractical), or if
-/// an internal LP unexpectedly fails — which cannot happen for a
-/// well-formed finite game.
+/// Panics where [`try_nucleolus`] would return an error: `n == 0`, `n > 12`
+/// (LP cascade becomes impractical), or an internal LP failure — which
+/// cannot happen for a well-formed finite game.
 pub fn nucleolus<G: CoalitionalGame>(game: &G) -> Vec<f64> {
+    match try_nucleolus(game) {
+        Ok(x) => x,
+        Err(e) => panic!("nucleolus: {e}"),
+    }
+}
+
+/// Computes the nucleolus allocation, reporting failures as [`GameError`]
+/// instead of panicking — the entry point for degraded-mode pipelines.
+pub fn try_nucleolus<G: CoalitionalGame>(game: &G) -> Result<Vec<f64>, GameError> {
     let n = game.n_players();
-    assert!(n >= 1, "need at least one player");
-    assert!(n <= 12, "nucleolus LP cascade limited to n ≤ 12");
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if n > 12 {
+        return Err(GameError::TooManyPlayers { n, max: 12 });
+    }
     if n == 1 {
-        return vec![game.grand_value()];
+        return Ok(vec![game.grand_value()]);
     }
 
     let grand = Coalition::grand(n);
@@ -49,14 +63,14 @@ pub fn nucleolus<G: CoalitionalGame>(game: &G) -> Vec<f64> {
     let mut active: Vec<Coalition> = proper.clone();
 
     loop {
-        let (eps, x) = solve_stage(game, n, &frozen, &active, None);
+        let (eps, x) = solve_stage(game, n, &frozen, &active, None)?;
 
         // Which active coalitions are tight at *every* optimum? Coalition S
         // is frozen iff max x(S) over the optimal face equals V(S) − ε.
         let mut still_active = Vec::new();
         let mut newly_frozen = 0usize;
         for &s in &active {
-            let max_xs = maximize_coalition_payoff(game, n, &frozen, &active, eps, s);
+            let max_xs = maximize_coalition_payoff(game, n, &frozen, &active, eps, s)?;
             if max_xs <= game.value(s) - eps + TOL {
                 frozen.push((s, eps));
                 newly_frozen += 1;
@@ -64,15 +78,18 @@ pub fn nucleolus<G: CoalitionalGame>(game: &G) -> Vec<f64> {
                 still_active.push(s);
             }
         }
-        assert!(
-            newly_frozen > 0,
-            "nucleolus stage froze no coalition (numerical trouble)"
-        );
+        if newly_frozen == 0 {
+            // Every stage must freeze at least one coalition; a stage that
+            // freezes none would loop forever on the same LP.
+            return Err(GameError::NumericallyStuck {
+                context: "nucleolus",
+            });
+        }
         active = still_active;
 
         if active.is_empty() || equality_rank(n, &frozen) >= n {
             // x from the last stage is the nucleolus (unique at this point).
-            return x;
+            return Ok(x);
         }
     }
 }
@@ -89,7 +106,7 @@ fn solve_stage<G: CoalitionalGame>(
     frozen: &[(Coalition, f64)],
     active: &[Coalition],
     fix_eps: Option<(f64, Coalition)>,
-) -> (f64, Vec<f64>) {
+) -> Result<(f64, Vec<f64>), GameError> {
     let mut lp = LinearProgram::new(
         0,
         if fix_eps.is_some() {
@@ -141,18 +158,22 @@ fn solve_stage<G: CoalitionalGame>(
         lp.add_constraint(row(Coalition::EMPTY, 1.0), Relation::Eq, eps_star);
     }
 
-    let sol = lp.solve().expect("nucleolus stage LP well-formed");
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "nucleolus stage LP not optimal"
-    );
+    let sol = lp.solve().map_err(|source| GameError::MalformedLp {
+        context: "nucleolus stage",
+        source,
+    })?;
+    if sol.status != Status::Optimal {
+        return Err(GameError::LpNotOptimal {
+            context: "nucleolus stage",
+            status: sol.status,
+        });
+    }
     let x: Vec<f64> = x_pairs
         .iter()
         .map(|&pair| LinearProgram::free_value(&sol.x, pair))
         .collect();
     let eps = LinearProgram::free_value(&sol.x, eps_pair);
-    (eps, x)
+    Ok((eps, x))
 }
 
 /// Max of `x(s)` over the optimal face of the stage LP (ε fixed at `eps`).
@@ -163,9 +184,9 @@ fn maximize_coalition_payoff<G: CoalitionalGame>(
     active: &[Coalition],
     eps: f64,
     s: Coalition,
-) -> f64 {
-    let (_, x) = solve_stage(game, n, frozen, active, Some((eps, s)));
-    s.players().map(|p| x[p]).sum()
+) -> Result<f64, GameError> {
+    let (_, x) = solve_stage(game, n, frozen, active, Some((eps, s)))?;
+    Ok(s.players().map(|p| x[p]).sum())
 }
 
 /// Rank of the incidence vectors of the frozen coalitions plus the grand
@@ -282,6 +303,24 @@ mod tests {
         let g = FnGame::new(3, |c: Coalition| (c.len() >= 2) as u64 as f64);
         let x = nucleolus(&g);
         assert_vec_close(&x, &[1.0 / 3.0; 3], 1e-6);
+    }
+
+    #[test]
+    fn try_nucleolus_reports_nonfinite_games() {
+        let g = FnGame::new(3, |c: Coalition| if c.len() == 1 { f64::INFINITY } else { 0.0 });
+        assert!(matches!(
+            try_nucleolus(&g),
+            Err(GameError::MalformedLp { context: "nucleolus stage", .. })
+        ));
+    }
+
+    #[test]
+    fn try_nucleolus_rejects_oversized_games() {
+        let g = FnGame::new(13, |c: Coalition| c.len() as f64);
+        assert_eq!(
+            try_nucleolus(&g).unwrap_err(),
+            GameError::TooManyPlayers { n: 13, max: 12 }
+        );
     }
 
     #[test]

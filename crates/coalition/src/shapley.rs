@@ -52,7 +52,7 @@ pub fn shapley_parallel<G: CoalitionalGame>(game: &G, threads: usize) -> Vec<f64
     let n = game.n_players();
     let threads = threads.clamp(1, n.max(1));
     let mut phi = vec![0.0; n];
-    crossbeam::thread::scope(|scope| {
+    let outcome = crossbeam::thread::scope(|scope| {
         let chunks: Vec<&mut [f64]> = phi.chunks_mut(n.div_ceil(threads)).collect();
         let mut start = 0usize;
         for chunk in chunks {
@@ -65,8 +65,12 @@ pub fn shapley_parallel<G: CoalitionalGame>(game: &G, threads: usize) -> Vec<f64
             });
             start += len;
         }
-    })
-    .expect("shapley worker panicked");
+    });
+    if let Err(payload) = outcome {
+        // A worker panicked (characteristic function blew up): propagate
+        // the original panic rather than masking it with a new one.
+        std::panic::resume_unwind(payload);
+    }
     phi
 }
 

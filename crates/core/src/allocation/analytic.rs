@@ -95,6 +95,21 @@ pub enum SolveError {
     NonlinearMixture,
     /// The admission-grid search would exceed the configured budget.
     SearchTooLarge,
+    /// The instance has more locations than the exhaustive solver can
+    /// enumerate.
+    TooManyLocations {
+        /// Locations in the instance.
+        n: u64,
+        /// Maximum the solver supports.
+        max: u64,
+    },
+    /// The exhaustive solver's per-run experiment budget was exceeded.
+    ExperimentBudgetExceeded {
+        /// Total admission cap requested across classes.
+        requested: u64,
+        /// Maximum the solver supports.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -111,6 +126,15 @@ impl std::fmt::Display for SolveError {
                 )
             }
             SolveError::SearchTooLarge => write!(f, "admission grid search too large"),
+            SolveError::TooManyLocations { n, max } => {
+                write!(f, "instance has {n} locations; exhaustive solver supports {max}")
+            }
+            SolveError::ExperimentBudgetExceeded { requested, max } => {
+                write!(
+                    f,
+                    "admission caps total {requested}; exhaustive solver budget is {max} per class"
+                )
+            }
         }
     }
 }

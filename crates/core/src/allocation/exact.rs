@@ -3,9 +3,9 @@
 //! Enumerates every admission count per class and every descending size
 //! vector (with Gale–Ryser pruning) and returns the true optimum. Its only
 //! purpose is validating the analytic optimizer in tests — complexity is
-//! exponential, so inputs are asserted small.
+//! exponential, so oversized inputs are rejected up front.
 
-use super::analytic::{ClassAllocation, ProfileSolution};
+use super::analytic::{ClassAllocation, ProfileSolution, SolveError};
 use super::feasibility::is_realizable;
 use crate::experiment::Demand;
 use crate::location::CapacityProfile;
@@ -25,17 +25,22 @@ const MAX_EXPERIMENTS: u64 = 8;
 /// can be useful (e.g. `total_slots ≤ 8` for threshold-0 concave demand).
 /// Validation tests generate instances within that envelope.
 ///
-/// # Panics
-/// Panics if the instance exceeds the enumeration limits
-/// (`n_locations ≤ 16`, total experiments ≤ 8).
-pub fn solve_exact(profile: &CapacityProfile, demand: &Demand) -> ProfileSolution {
-    assert!(
-        profile.n_locations() <= MAX_LOCATIONS,
-        "exact solver limited to {MAX_LOCATIONS} locations"
-    );
+/// Instances exceeding the enumeration limits (`n_locations ≤ 16`, total
+/// experiments ≤ 8) or mixing `resources_per_location` are rejected as a
+/// [`SolveError`] instead of being ground through for hours.
+pub fn solve_exact(
+    profile: &CapacityProfile,
+    demand: &Demand,
+) -> Result<ProfileSolution, SolveError> {
+    if profile.n_locations() > MAX_LOCATIONS {
+        return Err(SolveError::TooManyLocations {
+            n: profile.n_locations(),
+            max: MAX_LOCATIONS,
+        });
+    }
     let classes = &demand.components;
     if classes.is_empty() || profile.n_locations() == 0 {
-        return ProfileSolution {
+        return Ok(ProfileSolution {
             total_utility: 0.0,
             per_class: vec![
                 ClassAllocation {
@@ -44,13 +49,12 @@ pub fn solve_exact(profile: &CapacityProfile, demand: &Demand) -> ProfileSolutio
                 };
                 classes.len()
             ],
-        };
+        });
     }
     let r = classes[0].class.resources_per_location;
-    assert!(
-        classes.iter().all(|c| c.class.resources_per_location == r),
-        "exact solver requires uniform resources per location"
-    );
+    if classes.iter().any(|c| c.class.resources_per_location != r) {
+        return Err(SolveError::MixedResourceClasses);
+    }
     let scaled;
     let profile = if r == 1 {
         profile
@@ -70,10 +74,13 @@ pub fn solve_exact(profile: &CapacityProfile, demand: &Demand) -> ProfileSolutio
         .iter()
         .map(|c| c.volume.cap(profile.total_slots()).min(MAX_EXPERIMENTS))
         .collect();
-    assert!(
-        caps.iter().sum::<u64>() <= MAX_EXPERIMENTS * classes.len() as u64,
-        "exact solver experiment budget exceeded"
-    );
+    let requested: u64 = caps.iter().sum();
+    if requested > MAX_EXPERIMENTS * classes.len() as u64 {
+        return Err(SolveError::ExperimentBudgetExceeded {
+            requested,
+            max: MAX_EXPERIMENTS,
+        });
+    }
 
     let mut best = ProfileSolution {
         total_utility: 0.0,
@@ -95,7 +102,7 @@ pub fn solve_exact(profile: &CapacityProfile, demand: &Demand) -> ProfileSolutio
         let mut k = 0;
         loop {
             if k == classes.len() {
-                return best;
+                return Ok(best);
             }
             if admissions[k] < caps[k] {
                 admissions[k] += 1;
@@ -205,7 +212,7 @@ mod tests {
         ] {
             let p = profile(groups);
             let demand = Demand::single(ExperimentClass::simple("x", l, 1.0), vol);
-            let exact = solve_exact(&p, &demand);
+            let exact = solve_exact(&p, &demand).unwrap();
             let fast = solve(&p, &demand).unwrap();
             assert!(
                 (exact.total_utility - fast.total_utility).abs() < 1e-9,
@@ -225,7 +232,7 @@ mod tests {
                     ExperimentClass::simple("x", 1.0, d),
                     Volume::CapacityFilling,
                 );
-                let exact = solve_exact(&p, &demand);
+                let exact = solve_exact(&p, &demand).unwrap();
                 let fast = solve(&p, &demand).unwrap();
                 assert!(
                     (exact.total_utility - fast.total_utility).abs() < 1e-9,
@@ -246,9 +253,19 @@ mod tests {
             4,
             0.5,
         );
-        let exact = solve_exact(&p, &demand);
+        let exact = solve_exact(&p, &demand).unwrap();
         let fast = solve(&p, &demand).unwrap();
         assert!((exact.total_utility - fast.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_instances_are_rejected_not_enumerated() {
+        let p = profile(&[(1, 20)]); // 20 locations > MAX_LOCATIONS
+        let demand = Demand::single(ExperimentClass::simple("x", 0.0, 1.0), Volume::Count(1));
+        assert_eq!(
+            solve_exact(&p, &demand),
+            Err(SolveError::TooManyLocations { n: 20, max: 16 })
+        );
     }
 
     #[test]
@@ -267,7 +284,7 @@ mod tests {
                 },
             ],
         };
-        let exact = solve_exact(&p, &demand);
+        let exact = solve_exact(&p, &demand).unwrap();
         assert!(exact.total_utility > 0.0);
     }
 }

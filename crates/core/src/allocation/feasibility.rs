@@ -52,7 +52,10 @@ pub fn is_realizable(sizes_desc: &[u64], profile: &CapacityProfile) -> bool {
 /// greedy is exact.
 pub fn max_total_sizes(profile: &CapacityProfile, lb: &[u64], ub: &[u64]) -> Option<Vec<u64>> {
     let m = lb.len();
-    assert_eq!(ub.len(), m);
+    if ub.len() != m {
+        // Mismatched bound vectors have no feasible interpretation.
+        return None;
+    }
     debug_assert!(lb.windows(2).all(|w| w[0] >= w[1]), "lb must be descending");
     if m == 0 {
         return Some(Vec::new());

@@ -18,6 +18,41 @@
 //! function is expensive.
 
 use fedval_coalition::{Coalition, CoalitionalGame};
+use std::fmt;
+
+/// Why an availability vector was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvailabilityError {
+    /// The vector length differs from the base game's player count.
+    LengthMismatch {
+        /// Players in the base game.
+        expected: usize,
+        /// Entries in the availability vector.
+        actual: usize,
+    },
+    /// An availability value lies outside `(0, 1]` (or is NaN).
+    OutOfRange {
+        /// Index of the offending player.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for AvailabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvailabilityError::LengthMismatch { expected, actual } => {
+                write!(f, "availability vector has {actual} entries for {expected} players")
+            }
+            AvailabilityError::OutOfRange { index, value } => {
+                write!(f, "availability[{index}] = {value} is outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AvailabilityError {}
 
 /// Expectation of a base game over independent facility availability.
 pub struct AvailabilityGame<G> {
@@ -29,12 +64,36 @@ impl<G: CoalitionalGame> AvailabilityGame<G> {
     /// Wraps `base` with per-player availabilities.
     ///
     /// # Panics
-    /// Panics if the availability vector length differs from the player
-    /// count or any value is outside `(0, 1]`.
+    /// Panics where [`AvailabilityGame::try_new`] would return an error:
+    /// the availability vector length differs from the player count or any
+    /// value is outside `(0, 1]`.
     pub fn new(base: G, availability: Vec<f64>) -> AvailabilityGame<G> {
-        assert_eq!(availability.len(), base.n_players());
-        assert!(availability.iter().all(|&t| t > 0.0 && t <= 1.0));
-        AvailabilityGame { base, availability }
+        match AvailabilityGame::try_new(base, availability) {
+            Ok(g) => g,
+            Err(e) => panic!("AvailabilityGame::new: {e}"),
+        }
+    }
+
+    /// Wraps `base` with per-player availabilities, rejecting malformed
+    /// vectors as an [`AvailabilityError`] instead of panicking.
+    pub fn try_new(
+        base: G,
+        availability: Vec<f64>,
+    ) -> Result<AvailabilityGame<G>, AvailabilityError> {
+        if availability.len() != base.n_players() {
+            return Err(AvailabilityError::LengthMismatch {
+                expected: base.n_players(),
+                actual: availability.len(),
+            });
+        }
+        if let Some((index, &value)) = availability
+            .iter()
+            .enumerate()
+            .find(|&(_, &t)| !(t > 0.0 && t <= 1.0))
+        {
+            return Err(AvailabilityError::OutOfRange { index, value });
+        }
+        Ok(AvailabilityGame { base, availability })
     }
 
     /// The wrapped base game.
@@ -157,5 +216,29 @@ mod tests {
     #[should_panic]
     fn rejects_zero_availability() {
         let _ = AvailabilityGame::new(threshold_game(), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn try_new_reports_bad_vectors_without_panicking() {
+        assert_eq!(
+            AvailabilityGame::try_new(threshold_game(), vec![1.0, 1.0, 0.0]).err(),
+            Some(AvailabilityError::OutOfRange {
+                index: 2,
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            AvailabilityGame::try_new(threshold_game(), vec![1.0]).err(),
+            Some(AvailabilityError::LengthMismatch {
+                expected: 3,
+                actual: 1
+            })
+        );
+        // NaN is rejected too (it fails the open-interval check).
+        assert!(matches!(
+            AvailabilityGame::try_new(threshold_game(), vec![1.0, f64::NAN, 1.0]),
+            Err(AvailabilityError::OutOfRange { index: 1, .. })
+        ));
+        assert!(AvailabilityGame::try_new(threshold_game(), vec![0.5, 1.0, 0.1]).is_ok());
     }
 }

@@ -53,7 +53,7 @@ pub mod sharing;
 mod utility;
 mod value;
 
-pub use availability::AvailabilityGame;
+pub use availability::{AvailabilityError, AvailabilityGame};
 pub use cost::CostModel;
 pub use dynamics::{DynamicClass, DynamicDemand, DynamicFederationGame, ValueMode};
 pub use experiment::{Demand, DemandComponent, ExperimentClass, Volume};
@@ -63,7 +63,7 @@ pub use facility::{
 pub use location::{CapacityProfile, LocationId, LocationOffer};
 pub use overlap::{block_overlap, diversity_discount, IndependentCoverage};
 pub use p2p::{p2p_allocate, P2pMode, P2pOutcome};
-pub use scenario::FederationScenario;
+pub use scenario::{FederationScenario, PlayerCountMismatch};
 pub use utility::{ThresholdPower, Utility};
 pub use value::FederationGame;
 

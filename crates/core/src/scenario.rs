@@ -10,6 +10,27 @@ use fedval_coalition::{
     TableGame,
 };
 
+/// A measured game's player count disagrees with the facility list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlayerCountMismatch {
+    /// Facilities supplied.
+    pub facilities: usize,
+    /// Players in the measured table.
+    pub players: usize,
+}
+
+impl std::fmt::Display for PlayerCountMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "measured game has {} players for {} facilities",
+            self.players, self.facilities
+        )
+    }
+}
+
+impl std::error::Error for PlayerCountMismatch {}
+
 /// A complete federation scenario: facilities + demand (+ cost model),
 /// with every solution concept one call away.
 ///
@@ -37,6 +58,47 @@ impl FederationScenario {
     pub fn with_cost(mut self, cost: CostModel) -> FederationScenario {
         self.cost = cost;
         self
+    }
+
+    /// Builds a scenario around an *externally measured* coalition-value
+    /// table (e.g. `fedval-testbed`'s empirical game) instead of the
+    /// closed-form model. The facilities still drive the proportional and
+    /// consumption benchmarks; the game queries use `game` as-is.
+    ///
+    /// # Panics
+    /// Panics where [`FederationScenario::try_from_measured`] would return
+    /// an error: the table's player count differs from the facility count.
+    pub fn from_measured(
+        facilities: Vec<Facility>,
+        demand: Demand,
+        game: TableGame,
+    ) -> FederationScenario {
+        match FederationScenario::try_from_measured(facilities, demand, game) {
+            Ok(s) => s,
+            Err(e) => panic!("FederationScenario::from_measured: {e}"),
+        }
+    }
+
+    /// Fallible form of [`FederationScenario::from_measured`].
+    pub fn try_from_measured(
+        facilities: Vec<Facility>,
+        demand: Demand,
+        game: TableGame,
+    ) -> Result<FederationScenario, PlayerCountMismatch> {
+        if game.n_players() != facilities.len() {
+            return Err(PlayerCountMismatch {
+                facilities: facilities.len(),
+                players: game.n_players(),
+            });
+        }
+        let table = std::cell::OnceCell::new();
+        let _ = table.set(game);
+        Ok(FederationScenario {
+            facilities,
+            demand,
+            cost: CostModel::paper_default(),
+            table,
+        })
     }
 
     /// The facilities, in player order.
@@ -152,6 +214,32 @@ mod tests {
         assert!(p.superadditive);
         assert!(p.monotone);
         assert!(p.essential);
+    }
+
+    #[test]
+    fn measured_scenarios_use_the_supplied_table() {
+        let closed_form = worked_example();
+        let table = closed_form.game().clone();
+        let measured = FederationScenario::from_measured(
+            paper_facilities([1, 1, 1]),
+            Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0)),
+            table,
+        );
+        assert_eq!(measured.grand_value(), 1300.0);
+        assert_eq!(measured.shapley_shares(), closed_form.shapley_shares());
+        // Mismatched player counts are rejected, not ground through.
+        let bad = FederationScenario::try_from_measured(
+            paper_facilities([1, 1, 1]),
+            Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0)),
+            TableGame::from_fn(2, |_| 0.0),
+        );
+        assert_eq!(
+            bad.err(),
+            Some(PlayerCountMismatch {
+                facilities: 3,
+                players: 2
+            })
+        );
     }
 
     #[test]

@@ -67,9 +67,10 @@ impl CoalitionalGame for FederationGame<'_> {
     /// supported cases (see [`SolveError`]); validate demand up front with
     /// [`FederationGame::solve_coalition`].
     fn value(&self, coalition: Coalition) -> f64 {
-        self.solve_coalition(coalition)
-            .expect("demand not supported by analytic optimizer")
-            .total_utility
+        match self.solve_coalition(coalition) {
+            Ok(solution) => solution.total_utility,
+            Err(e) => panic!("FederationGame::value: unsupported demand: {e}"),
+        }
     }
 }
 

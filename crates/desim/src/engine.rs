@@ -2,6 +2,47 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why an event could not be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The requested firing time is NaN or infinite.
+    NonFiniteTime {
+        /// The offending time.
+        at: f64,
+    },
+    /// The requested firing time precedes the current clock.
+    TimeInPast {
+        /// The requested firing time.
+        at: f64,
+        /// The simulator's current time.
+        now: f64,
+    },
+    /// A relative delay was negative (or NaN).
+    NegativeDelay {
+        /// The offending delay.
+        delay: f64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NonFiniteTime { at } => {
+                write!(f, "event time {at} is not finite")
+            }
+            ScheduleError::TimeInPast { at, now } => {
+                write!(f, "cannot schedule at {at}: clock is already at {now}")
+            }
+            ScheduleError::NegativeDelay { delay } => {
+                write!(f, "delay {delay} must be non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// A pending event: fires at `time`, carrying `payload`.
 struct Scheduled<E> {
@@ -20,11 +61,12 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        // Ties broken by insertion order (seq) for determinism.
+        // Ties broken by insertion order (seq) for determinism. `total_cmp`
+        // keeps this panic-free; non-finite times are rejected at scheduling
+        // time, so the IEEE total order only ever sees finite values here.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must be finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -81,26 +123,50 @@ impl<E> Simulator<E> {
     /// Schedules `payload` at absolute time `at`.
     ///
     /// # Panics
-    /// Panics if `at` is non-finite or in the past.
+    /// Panics if `at` is non-finite or in the past. Use
+    /// [`Simulator::try_schedule_at`] on paths that must not panic.
     pub fn schedule_at(&mut self, at: f64, payload: E) {
-        assert!(at.is_finite(), "event time must be finite");
-        assert!(
-            at >= self.now,
-            "cannot schedule in the past ({at} < {})",
-            self.now
-        );
+        if let Err(e) = self.try_schedule_at(at, payload) {
+            panic!("schedule_at: {e}");
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at`, rejecting non-finite or
+    /// past times as a [`ScheduleError`] instead of panicking.
+    pub fn try_schedule_at(&mut self, at: f64, payload: E) -> Result<(), ScheduleError> {
+        if !at.is_finite() {
+            return Err(ScheduleError::NonFiniteTime { at });
+        }
+        if at < self.now {
+            return Err(ScheduleError::TimeInPast { at, now: self.now });
+        }
         self.queue.push(Scheduled {
             time: at,
             seq: self.seq,
             payload,
         });
         self.seq += 1;
+        Ok(())
     }
 
     /// Schedules `payload` after a `delay` from the current time.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative or non-finite. Use
+    /// [`Simulator::try_schedule`] on paths that must not panic.
     pub fn schedule(&mut self, delay: f64, payload: E) {
-        assert!(delay >= 0.0, "delay must be non-negative");
-        self.schedule_at(self.now + delay, payload);
+        if let Err(e) = self.try_schedule(delay, payload) {
+            panic!("schedule: {e}");
+        }
+    }
+
+    /// Schedules `payload` after a `delay` from the current time, rejecting
+    /// negative or non-finite delays as a [`ScheduleError`].
+    pub fn try_schedule(&mut self, delay: f64, payload: E) -> Result<(), ScheduleError> {
+        if delay.is_nan() || delay < 0.0 {
+            return Err(ScheduleError::NegativeDelay { delay });
+        }
+        self.try_schedule_at(self.now + delay, payload)
     }
 
     /// Delivers the next event, advancing the clock. `None` when the
@@ -158,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "past")]
+    #[should_panic(expected = "clock is already at")]
     fn rejects_past_events() {
         let mut sim = Simulator::new();
         sim.schedule_at(2.0, ());
@@ -171,5 +237,28 @@ mod tests {
         let mut sim: Simulator<()> = Simulator::new();
         assert!(sim.next_event().is_none());
         assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn try_schedule_reports_bad_times_without_panicking() {
+        let mut sim = Simulator::new();
+        assert!(matches!(
+            sim.try_schedule_at(f64::NAN, ()),
+            Err(ScheduleError::NonFiniteTime { .. })
+        ));
+        sim.schedule_at(2.0, ());
+        sim.next_event();
+        assert_eq!(
+            sim.try_schedule_at(1.0, ()),
+            Err(ScheduleError::TimeInPast { at: 1.0, now: 2.0 })
+        );
+        assert_eq!(
+            sim.try_schedule(-0.5, ()),
+            Err(ScheduleError::NegativeDelay { delay: -0.5 })
+        );
+        // The calendar is untouched by rejected schedules.
+        assert_eq!(sim.pending(), 0);
+        assert!(sim.try_schedule(1.0, ()).is_ok());
+        assert_eq!(sim.pending(), 1);
     }
 }

@@ -57,7 +57,7 @@ mod process;
 mod rng;
 mod stats;
 
-pub use engine::Simulator;
+pub use engine::{ScheduleError, Simulator};
 pub use erlang::{erlang_b, offered_load};
 pub use fixed_point::{erlang_fixed_point, FixedPoint, Route};
 pub use loss_network::{kaufman_roberts, LossAnalysis, LossClass};

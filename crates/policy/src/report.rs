@@ -2,6 +2,7 @@
 
 use crate::compare::{compare_schemes, SchemeAssessment};
 use crate::scheme::SharingScheme;
+use fedval_coalition::GameDiagnostics;
 use fedval_core::FederationScenario;
 use std::fmt::Write as _;
 
@@ -18,6 +19,10 @@ pub struct PolicyReport {
     pub convex: bool,
     /// Per-scheme assessments.
     pub assessments: Vec<SchemeAssessment>,
+    /// Measurement provenance, when the scenario's game was measured
+    /// empirically (fault injection, fallbacks, retries); `None` for
+    /// closed-form games.
+    pub measurement: Option<GameDiagnostics>,
 }
 
 /// Builds the report for all built-in schemes.
@@ -29,7 +34,21 @@ pub fn policy_report(scenario: &FederationScenario) -> PolicyReport {
         superadditive: props.superadditive,
         convex: props.convex,
         assessments: compare_schemes(scenario, &SharingScheme::all_builtin()),
+        measurement: None,
     }
+}
+
+/// Builds the report for a scenario whose game was *measured* (e.g. by
+/// `fedval-testbed`'s fault-injected empirical pipeline), attaching the
+/// measurement diagnostics so the rendered report discloses how much of
+/// the game was actually observed versus substituted by fallbacks.
+pub fn policy_report_measured(
+    scenario: &FederationScenario,
+    diagnostics: GameDiagnostics,
+) -> PolicyReport {
+    let mut report = policy_report(scenario);
+    report.measurement = Some(diagnostics);
+    report
 }
 
 impl PolicyReport {
@@ -43,8 +62,7 @@ impl PolicyReport {
             .filter(|a| a.in_core == Some(true))
             .min_by(|a, b| {
                 a.distance_from_proportional
-                    .partial_cmp(&b.distance_from_proportional)
-                    .expect("finite distances")
+                    .total_cmp(&b.distance_from_proportional)
             })
             .map(|a| a.scheme.as_str())
             .unwrap_or("shapley")
@@ -81,6 +99,16 @@ impl PolicyReport {
                 "{:<14} {:>10.2} {:>12.4} {:<8} [{shares}]",
                 a.scheme, a.max_excess, a.distance_from_proportional, core
             );
+        }
+        if let Some(m) = &self.measurement {
+            let _ = writeln!(out, "measurement: {}", m.summary());
+            if m.fallbacks_used() > 0 {
+                let _ = writeln!(
+                    out,
+                    "warning: {} coalition value(s) are conservative fallbacks, not measurements",
+                    m.fallbacks_used()
+                );
+            }
         }
         let _ = writeln!(out, "recommended: {}", self.recommended());
         out
@@ -125,6 +153,31 @@ mod tests {
         let rec = r.recommended();
         let rec_entry = r.assessments.iter().find(|a| a.scheme == rec).unwrap();
         assert_eq!(rec_entry.in_core, Some(true));
+    }
+
+    #[test]
+    fn measured_reports_disclose_fallbacks() {
+        use fedval_coalition::{Coalition, CoalitionDiagnostics, ValueSource};
+        let s = scenario(500.0);
+        let mut records: Vec<CoalitionDiagnostics> = (0..8u64)
+            .map(|m| CoalitionDiagnostics::clean(Coalition(m)))
+            .collect();
+        records[7].source = ValueSource::SubCoalitionFallback(Coalition(3));
+        records[7].error = Some("simulation wedged".into());
+        records[5].faults_injected = 3;
+        let r = policy_report_measured(
+            &s,
+            GameDiagnostics {
+                per_coalition: records,
+            },
+        );
+        let text = r.render();
+        assert!(text.contains("measurement:"), "{text}");
+        assert!(text.contains("1 fallbacks"), "{text}");
+        assert!(text.contains("warning:"), "{text}");
+        // Closed-form reports stay silent about measurement.
+        let clean = policy_report(&s);
+        assert!(!clean.render().contains("measurement:"));
     }
 
     #[test]

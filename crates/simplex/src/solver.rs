@@ -13,6 +13,10 @@ pub enum Status {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// The pivot loop hit its iteration cap without converging. Bland's rule
+    /// precludes genuine cycling, so this flags numerical degeneracy; callers
+    /// should treat the solve as failed rather than trust partial values.
+    Stalled,
 }
 
 /// Result of [`LinearProgram::solve`].
@@ -50,11 +54,15 @@ impl LinearProgram {
         // Normalize rows to rhs ≥ 0, then decide which rows need an
         // artificial: rows whose slack cannot serve as the initial basic
         // variable (Ge's surplus enters with −1, Eq has no slack at all).
+        enum BasisSource {
+            Slack(usize),
+            Artificial,
+        }
         struct RowPlan {
             coeffs: Vec<f64>,
             rhs: f64,
             slack: Option<(usize, f64)>, // (column offset among slacks, sign)
-            needs_artificial: bool,
+            basis: BasisSource,
         }
         let mut plans = Vec::with_capacity(m);
         let mut slack_idx = 0usize;
@@ -73,27 +81,30 @@ impl LinearProgram {
                     Relation::Eq => Relation::Eq,
                 };
             }
-            let (slack, needs_artificial) = match relation {
+            let (slack, basis) = match relation {
                 Relation::Le => {
-                    let s = Some((slack_idx, 1.0));
+                    let s = slack_idx;
                     slack_idx += 1;
-                    (s, false)
+                    (Some((s, 1.0)), BasisSource::Slack(s))
                 }
                 Relation::Ge => {
-                    let s = Some((slack_idx, -1.0));
+                    let s = slack_idx;
                     slack_idx += 1;
-                    (s, true)
+                    (Some((s, -1.0)), BasisSource::Artificial)
                 }
-                Relation::Eq => (None, true),
+                Relation::Eq => (None, BasisSource::Artificial),
             };
             plans.push(RowPlan {
                 coeffs,
                 rhs,
                 slack,
-                needs_artificial,
+                basis,
             });
         }
-        let n_artificial = plans.iter().filter(|p| p.needs_artificial).count();
+        let n_artificial = plans
+            .iter()
+            .filter(|p| matches!(p.basis, BasisSource::Artificial))
+            .count();
         let n_cols = n + n_slack + n_artificial;
 
         let mut rows = Vec::with_capacity(m);
@@ -106,17 +117,23 @@ impl LinearProgram {
                 row[n + s] = sign;
             }
             row[n_cols] = p.rhs;
-            if p.needs_artificial {
-                row[art_col] = 1.0;
-                basis.push(art_col);
-                art_col += 1;
-            } else {
+            match p.basis {
+                BasisSource::Artificial => {
+                    row[art_col] = 1.0;
+                    basis.push(art_col);
+                    art_col += 1;
+                }
                 // The ≤-slack is the initial basic variable.
-                let (s, _) = p.slack.expect("non-artificial row has a slack");
-                basis.push(n + s);
+                BasisSource::Slack(s) => basis.push(n + s),
             }
             rows.push(row);
         }
+        let max_iters = Tableau::iteration_cap(m, n_cols);
+        let stalled = |n: usize| Solution {
+            status: Status::Stalled,
+            objective: 0.0,
+            x: vec![0.0; n],
+        };
 
         // --- Phase 1: minimize the sum of artificials. ---
         if n_artificial > 0 {
@@ -127,12 +144,14 @@ impl LinearProgram {
             }
             let mut t = Tableau::new(rows, cost, basis, n_cols);
             t.price_out_basis();
-            match t.run(&|_| true) {
+            match t.run(&|_| true, max_iters) {
                 PivotOutcome::Optimal => {}
-                PivotOutcome::Unbounded => {
-                    // Sum of non-negative artificials cannot be unbounded
-                    // below; this indicates numerical trouble.
-                    unreachable!("phase-1 objective is bounded below by zero")
+                // Sum of non-negative artificials cannot be unbounded below,
+                // so "unbounded" here — like an exhausted pivot budget — means
+                // the arithmetic went numerically bad. Surface that as a
+                // stalled solve instead of trusting the tableau.
+                PivotOutcome::Unbounded | PivotOutcome::Stalled => {
+                    return Ok(stalled(n));
                 }
             }
             // cost_rhs holds −(Σ artificials); feasible iff ~0.
@@ -171,7 +190,7 @@ impl LinearProgram {
         let mut t = Tableau::new(rows, cost, basis, n_cols);
         t.price_out_basis();
         let structural_limit = n + n_slack;
-        match t.run(&|j| j < structural_limit) {
+        match t.run(&|j| j < structural_limit, max_iters) {
             PivotOutcome::Optimal => {
                 let x: Vec<f64> = (0..n).map(|j| t.value_of(j)).collect();
                 let objective = self.objective_value(&x);
@@ -186,6 +205,7 @@ impl LinearProgram {
                 objective: 0.0,
                 x: vec![0.0; n],
             }),
+            PivotOutcome::Stalled => Ok(stalled(n)),
         }
     }
 }

@@ -13,6 +13,10 @@ pub(crate) enum PivotOutcome {
     Optimal,
     /// An improving column has no positive pivot entry: objective unbounded.
     Unbounded,
+    /// The iteration cap was reached before convergence. Bland's rule rules
+    /// out true cycling, so this indicates numerical trouble (reduced costs
+    /// hovering around the tolerance) rather than a theoretical cycle.
+    Stalled,
 }
 
 /// A dense tableau in canonical form.
@@ -68,14 +72,25 @@ impl Tableau {
         self.cost_rhs -= factor * self.rows[row][self.n_cols];
     }
 
-    /// Runs simplex iterations (minimization) until optimal or unbounded.
+    /// Upper bound on pivots for a tableau with `m` rows and `n` columns.
+    ///
+    /// Bland's rule visits each basis at most once, so any run that exceeds a
+    /// generous polynomial budget is numerically stuck, not still converging.
+    pub fn iteration_cap(m: usize, n: usize) -> usize {
+        64 * (m + 1) * (n + 1)
+    }
+
+    /// Runs simplex iterations (minimization) until optimal, unbounded, or
+    /// `max_iters` pivots have been performed.
     ///
     /// `allowed` restricts the entering columns (used in phase 2 to freeze
     /// artificial columns out of the basis). Bland's rule — smallest-index
     /// entering column among eligible, smallest-index leaving basic variable
-    /// among ratio-test ties — guarantees termination without cycling.
-    pub fn run(&mut self, allowed: &dyn Fn(usize) -> bool) -> PivotOutcome {
-        loop {
+    /// among ratio-test ties — guarantees termination without cycling; the
+    /// explicit cap turns float-noise stalls into [`PivotOutcome::Stalled`]
+    /// instead of a hung loop.
+    pub fn run(&mut self, allowed: &dyn Fn(usize) -> bool, max_iters: usize) -> PivotOutcome {
+        for _ in 0..max_iters {
             // Bland: first column with negative reduced cost.
             let entering = (0..self.n_cols)
                 .find(|&j| allowed(j) && self.cost[j] < -EPSILON && !self.in_basis(j));
@@ -107,6 +122,7 @@ impl Tableau {
             };
             self.pivot(leave_row, entering);
         }
+        PivotOutcome::Stalled
     }
 
     fn in_basis(&self, col: usize) -> bool {
@@ -172,7 +188,7 @@ mod tests {
     #[test]
     fn pivots_to_optimum() {
         let mut t = toy();
-        let outcome = t.run(&|_| true);
+        let outcome = t.run(&|_| true, 1000);
         assert_eq!(outcome, PivotOutcome::Optimal);
         assert!((t.value_of(0) - 4.0).abs() < 1e-9);
         assert!(t.value_of(1).abs() < 1e-9);
@@ -188,7 +204,15 @@ mod tests {
         let mut t = Tableau::new(rows, cost, vec![2], 3);
         // First pivot brings x in; afterwards y has negative reduced cost and
         // no positive entries.
-        assert_eq!(t.run(&|_| true), PivotOutcome::Unbounded);
+        assert_eq!(t.run(&|_| true, 1000), PivotOutcome::Unbounded);
+    }
+
+    #[test]
+    fn zero_iteration_budget_reports_stalled() {
+        let mut t = toy();
+        assert_eq!(t.run(&|_| true, 0), PivotOutcome::Stalled);
+        // With the budget restored the same tableau still converges.
+        assert_eq!(t.run(&|_| true, 1000), PivotOutcome::Optimal);
     }
 
     #[test]

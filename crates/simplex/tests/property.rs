@@ -162,6 +162,11 @@ proptest! {
                 // infeasible must never happen here.
                 prop_assert!(false, "origin was feasible");
             }
+            Status::Stalled => {
+                // The anti-cycling cap is generous; tiny random instances
+                // must never exhaust it.
+                prop_assert!(false, "pivot loop stalled on a tiny instance");
+            }
         }
     }
 

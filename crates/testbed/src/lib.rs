@@ -33,6 +33,7 @@
 //! ```
 
 mod authority;
+pub mod faults;
 mod federation;
 mod selection;
 mod simulate;
@@ -41,9 +42,13 @@ mod site;
 mod workload;
 
 pub use authority::{synthetic_authority, Authority};
+pub use faults::{Fault, FaultPlan, RetryPolicy};
 pub use federation::{Credential, Federation, NodeRecord};
 pub use selection::{satisfies_diversity, select, NodeQuery, Selection};
-pub use simulate::{empirical_game, run_coalition, Churn, SimConfig, SimReport};
+pub use simulate::{
+    empirical_game, empirical_game_diagnosed, run_coalition, run_coalition_faulted, Churn,
+    FaultedRun, MeasuredGame, SimConfig, SimError, SimReport,
+};
 pub use site::{Node, Site};
 pub use slice::{Slice, SliceError, SliceManager, Sliver};
 pub use workload::{ClassLoad, SliceRequest, Workload};

@@ -1,0 +1,134 @@
+//! The workspace-wide error hierarchy.
+//!
+//! Every solver crate reports failures through its own typed error —
+//! [`ProblemError`] for malformed LPs, [`GameError`] for game-theoretic
+//! solves, [`SolveError`] for the allocation engine, [`ScheduleError`] for
+//! the event calendar, [`SimError`] and [`SliceError`] for the testbed,
+//! [`AvailabilityError`] and [`PlayerCountMismatch`] for model wrappers.
+//! [`FedError`] unifies them for callers driving the whole pipeline
+//! (testbed simulation → empirical game → sharing scheme → policy report)
+//! who want one `?`-able type.
+
+use fedval_coalition::GameError;
+use fedval_core::allocation::SolveError;
+use fedval_core::{AvailabilityError, PlayerCountMismatch};
+use fedval_desim::ScheduleError;
+use fedval_simplex::ProblemError;
+use fedval_testbed::{SimError, SliceError};
+use std::fmt;
+
+/// Any failure from any layer of the federation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedError {
+    /// A linear program was malformed ([`fedval_simplex`]).
+    Problem(ProblemError),
+    /// A cooperative-game solve failed ([`fedval_coalition`]).
+    Game(GameError),
+    /// The allocation engine rejected an instance ([`fedval_core`]).
+    Solve(SolveError),
+    /// An event could not be scheduled ([`fedval_desim`]).
+    Schedule(ScheduleError),
+    /// A testbed simulation run failed ([`fedval_testbed`]).
+    Sim(SimError),
+    /// Slice instantiation failed ([`fedval_testbed`]).
+    Slice(SliceError),
+    /// An availability vector was malformed ([`fedval_core`]).
+    Availability(AvailabilityError),
+    /// A measured game did not match its facility list ([`fedval_core`]).
+    Measurement(PlayerCountMismatch),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::Problem(e) => write!(f, "lp: {e}"),
+            FedError::Game(e) => write!(f, "game: {e}"),
+            FedError::Solve(e) => write!(f, "allocation: {e}"),
+            FedError::Schedule(e) => write!(f, "schedule: {e}"),
+            FedError::Sim(e) => write!(f, "simulation: {e}"),
+            FedError::Slice(e) => write!(f, "slice: {e}"),
+            FedError::Availability(e) => write!(f, "availability: {e}"),
+            FedError::Measurement(e) => write!(f, "measurement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FedError::Problem(e) => Some(e),
+            FedError::Game(e) => Some(e),
+            FedError::Solve(e) => Some(e),
+            FedError::Schedule(e) => Some(e),
+            FedError::Sim(e) => Some(e),
+            FedError::Slice(e) => Some(e),
+            FedError::Availability(e) => Some(e),
+            FedError::Measurement(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($variant:ident($ty:ty)),* $(,)?) => {
+        $(impl From<$ty> for FedError {
+            fn from(e: $ty) -> FedError {
+                FedError::$variant(e)
+            }
+        })*
+    };
+}
+
+impl_from!(
+    Problem(ProblemError),
+    Game(GameError),
+    Solve(SolveError),
+    Schedule(ScheduleError),
+    Sim(SimError),
+    Slice(SliceError),
+    Availability(AvailabilityError),
+    Measurement(PlayerCountMismatch),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_and_displays() {
+        let cases: Vec<FedError> = vec![
+            ProblemError::NonFiniteInput.into(),
+            GameError::NoPlayers.into(),
+            SolveError::MixedResourceClasses.into(),
+            ScheduleError::NegativeDelay { delay: -1.0 }.into(),
+            SimError::TooManyAuthorities { n: 20, max: 16 }.into(),
+            SliceError::BadCredential.into(),
+            AvailabilityError::OutOfRange {
+                index: 0,
+                value: 2.0,
+            }
+            .into(),
+            PlayerCountMismatch {
+                facilities: 3,
+                players: 2,
+            }
+            .into(),
+        ];
+        for e in &cases {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            use std::error::Error;
+            assert!(e.source().is_some(), "{text} exposes its source");
+        }
+    }
+
+    #[test]
+    fn question_mark_composes_across_layers() {
+        fn pipeline() -> Result<f64, FedError> {
+            use fedval_coalition::{try_least_core, TableGame};
+            let game = TableGame::from_values(2, vec![0.0, 1.0, 1.0, 3.0]);
+            let lc = try_least_core(&game)?;
+            Ok(lc.epsilon)
+        }
+        assert!(pipeline().is_ok());
+    }
+}

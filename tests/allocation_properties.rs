@@ -48,7 +48,7 @@ proptest! {
             ExperimentClass::simple("x", threshold as f64, 1.0),
             vol,
         );
-        let exact = solve_exact(&profile, &demand);
+        let exact = solve_exact(&profile, &demand).unwrap();
         let fast = solve(&profile, &demand).unwrap();
         prop_assert!(
             (exact.total_utility - fast.total_utility).abs() < 1e-9,
@@ -69,7 +69,7 @@ proptest! {
             ExperimentClass::simple("x", threshold as f64, d),
             Volume::CapacityFilling,
         );
-        let exact = solve_exact(&profile, &demand);
+        let exact = solve_exact(&profile, &demand).unwrap();
         let fast = solve(&profile, &demand).unwrap();
         prop_assert!(
             (exact.total_utility - fast.total_utility).abs() < 1e-9,
@@ -98,7 +98,7 @@ proptest! {
                 },
             ],
         };
-        let exact = solve_exact(&profile, &demand);
+        let exact = solve_exact(&profile, &demand).unwrap();
         let fast = solve(&profile, &demand).unwrap();
         prop_assert!(
             (exact.total_utility - fast.total_utility).abs() < 1e-9,
@@ -143,7 +143,8 @@ proptest! {
                     ExperimentClass::simple("x", (lb - 1) as f64, 1.0),
                     Volume::Count(m as u64),
                 ),
-            );
+            )
+            .unwrap();
             let total: u64 = sizes.iter().sum();
             prop_assert!(
                 total as f64 >= exact.total_utility - 1e-9

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `bytes` crate: `Bytes`/`BytesMut` backed by
+//! plain `Vec<u8>`/cursor, exposing the big-endian `Buf`/`BufMut` subset the
+//! federation wire format needs. No refcounted zero-copy slicing — `slice`
+//! and `freeze` copy, which is fine at registry-exchange sizes.
+
+use std::ops::Deref;
+
+/// Read side of a byte buffer (big-endian accessors).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes, returning them.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1)[0]
+    }
+
+    /// Consumes a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let b = self.copy_to_bytes(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Consumes a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Consumes a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let b = self.copy_to_bytes(8);
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+/// Write side of a byte buffer (big-endian appenders).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Length of the *unconsumed* contents.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copied sub-range of the unconsumed contents.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unconsumed contents as a slice.
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// The unconsumed contents as an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "copy_to_bytes past end of buffer");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> BytesMut {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32(0xDEADBEEF);
+        w.put_u16(7);
+        w.put_slice(b"ab");
+        w.put_u64(42);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 4 + 2 + 2 + 8);
+        assert_eq!(r.get_u32(), 0xDEADBEEF);
+        assert_eq!(r.get_u16(), 7);
+        assert_eq!(&r.copy_to_bytes(2)[..], b"ab");
+        assert_eq!(r.get_u64(), 42);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_len_track_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..3).to_vec(), vec![2, 3]);
+        let _ = b.get_u16();
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Lets the workspace's `criterion` benches compile and run without the
+//! registry: each benchmark executes its closure a handful of times and
+//! prints one wall-clock line. No warm-up, outlier analysis, or reports —
+//! swap for the real crate when a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated there in favor of
+/// `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            iters: 3,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 3, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; scales the (tiny) iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 10);
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_benchmark_id(), self.iters, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        let label = id.into_benchmark_id();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            f(&mut b, input);
+        }
+        report(&label, self.iters.max(1) * b.inner_iters.max(1), start.elapsed());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    inner_iters: u64,
+}
+
+impl Bencher {
+    /// Runs the routine a few times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        const INNER: u64 = 3;
+        self.inner_iters = INNER;
+        for _ in 0..INNER {
+            black_box(routine());
+        }
+    }
+}
+
+/// Identifies one benchmark: either a plain `&str` or a
+/// [`BenchmarkId::new`] pair of function name and parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"name/parameter"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion accepted by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    /// The printable label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: u64, f: &mut F) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f(&mut b);
+    }
+    report(id, iters.max(1) * b.inner_iters.max(1), start.elapsed());
+}
+
+fn report(id: &str, total_iters: u64, elapsed: Duration) {
+    let per = elapsed.as_secs_f64() / total_iters.max(1) as f64;
+    println!("bench: {id:<40} {:>12.3} µs/iter", per * 1e6);
+}
+
+/// Groups benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

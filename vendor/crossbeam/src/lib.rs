@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API the workspace
+//! uses (`crossbeam::thread::scope` + `Scope::spawn`), implemented on
+//! `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to `scope`'s closure; `spawn` borrows from the
+    /// enclosing environment like crossbeam's scope does.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a placeholder
+        /// argument standing in for crossbeam's nested-scope handle (the
+        /// workspace always ignores it: `|_| …`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed threads can be spawned; all
+    /// spawned threads are joined before `scope` returns. Matches
+    /// crossbeam's `Result` signature; panics in workers propagate via
+    /// `std::thread::scope`, so the `Err` arm is never constructed here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u32 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports —
+//! both as (empty) traits and as no-op derive macros — so model types keep
+//! their serde annotations without needing the registry. No in-tree code
+//! performs actual serde serialization; swap for the real crate when a
+//! registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name (no methods; the no-op
+/// derive does not implement it, and no in-tree bound requires it).
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
