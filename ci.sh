@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Tier-1 gate + panic-discipline lint.
+# Tier-1 gate + panic-discipline lint + fedval-lint static analysis.
 #
-#   ./ci.sh            build, test, clippy
+#   ./ci.sh            build, test, clippy, fedval-lint
 #
-# The clippy stage enforces the no-panic rule on the solver crates'
-# non-test code: unwrap()/expect() are denied in fedval-simplex,
-# fedval-core, fedval-coalition, and fedval-desim (tests are exempt —
+# The clippy stage enforces the no-panic rule on every crate's non-test
+# lib code: unwrap()/expect() are denied workspace-wide (tests are exempt —
 # clippy does not lint #[cfg(test)] code with these lints promoted only
 # for lib targets).
+#
+# The fedval-lint stage runs the workspace's own static-analysis pass
+# (see DESIGN.md §7): findings are diffed against the committed
+# lint-baseline.toml, and any NEW finding fails the build.
 set -eu
 
 echo "== cargo build --release"
@@ -16,12 +19,24 @@ cargo build --release
 echo "== cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "== clippy panic-discipline (solver crates, lib targets only)"
-for crate in fedval-simplex fedval-core fedval-coalition fedval-desim; do
+echo "== clippy panic-discipline (all crates, lib targets only)"
+for crate in fedval-simplex fedval-core fedval-coalition fedval-desim \
+             fedval-testbed fedval-market fedval-policy fedval-bench \
+             fedval-lint; do
     echo "--  $crate"
     cargo clippy -q -p "$crate" --lib --release -- \
         -D clippy::unwrap_used \
         -D clippy::expect_used
 done
+
+echo "== fedval-lint (workspace static analysis vs lint-baseline.toml)"
+if ! cargo run -q -p fedval-lint --release; then
+    echo ""
+    echo "ci.sh: fedval-lint found NEW findings above the committed baseline."
+    echo "The delta is listed above. Fix each finding, or justify it with an"
+    echo "inline marker:  // lint: allow(<rule>) — <reason>"
+    echo "Pre-existing budgeted debt never fails; only new debt does."
+    exit 1
+fi
 
 echo "ci.sh: all green"

@@ -28,12 +28,8 @@ pub fn ext1_overlap() -> Figure {
     let mut value = Series::new("V(N)");
     let mut phi3 = Series::new("phi_hat_3");
     let mut discount = Series::new("diversity_discount");
-    for shared in (0..=400).step_by(50) {
-        let facilities = block_overlap(
-            &[100, 400 - shared as u32, 800 - shared as u32],
-            shared as u32,
-            1,
-        );
+    for shared in (0u32..=400).step_by(50) {
+        let facilities = block_overlap(&[100, 400 - shared, 800 - shared], shared, 1);
         let d = fedval_core::diversity_discount(&facilities);
         let scenario = FederationScenario::new(
             facilities,
@@ -118,7 +114,11 @@ pub fn ext4_greedy_loss() -> Figure {
     for l in (0..=1200).step_by(100) {
         let demand = Demand::capacity_filling(ExperimentClass::simple("e", l as f64, 1.0));
         let x = l as f64;
-        optimal.push(x, solve(&profile, &demand).expect("supported").total_utility);
+        // Capacity-filling demand is always supported; if solve ever fails
+        // here, drop the point rather than abort the whole figure run.
+        if let Ok(s) = solve(&profile, &demand) {
+            optimal.push(x, s.total_utility);
+        }
         max_div.push(
             x,
             solve_greedy(&profile, &demand, GreedyPolicy::MaxDiversity).total_utility,

@@ -44,12 +44,20 @@ impl Balancedness {
 pub fn balancedness<G: CoalitionalGame>(game: &G) -> Balancedness {
     match try_balancedness(game) {
         Ok(b) => b,
+        // lint: allow(no-panic-path) — documented `# Panics` convenience
+        // wrapper; fallible callers use the try_ variant instead.
         Err(e) => panic!("balancedness: {e}"),
     }
 }
 
 /// Solves the Bondareva–Shapley LP, reporting failures as [`GameError`]
 /// instead of panicking.
+///
+/// # Errors
+/// [`GameError::NoPlayers`] for an empty game, [`GameError::TooManyPlayers`]
+/// above 16 players (the LP has `2^n − 2` variables), or
+/// [`GameError::MalformedLp`] when the characteristic function produces NaN
+/// or infinite values.
 pub fn try_balancedness<G: CoalitionalGame>(game: &G) -> Result<Balancedness, GameError> {
     let n = game.n_players();
     if n == 0 {

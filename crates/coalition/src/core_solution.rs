@@ -65,12 +65,19 @@ pub fn excess<G: CoalitionalGame>(game: &G, x: &[f64], s: Coalition) -> f64 {
 pub fn least_core<G: CoalitionalGame>(game: &G) -> LeastCore {
     match try_least_core(game) {
         Ok(lc) => lc,
+        // lint: allow(no-panic-path) — documented `# Panics` convenience
+        // wrapper; fallible callers use the try_ variant instead.
         Err(e) => panic!("least_core: {e}"),
     }
 }
 
 /// Solves the least-core LP, reporting failures as [`GameError`] instead of
 /// panicking — the entry point for degraded-mode pipelines.
+///
+/// # Errors
+/// [`GameError::NoPlayers`] for an empty game, [`GameError::TooManyPlayers`]
+/// above 16 players (`2^n` LP rows), or [`GameError::MalformedLp`] when the
+/// characteristic function produces NaN or infinite values.
 pub fn try_least_core<G: CoalitionalGame>(game: &G) -> Result<LeastCore, GameError> {
     let n = game.n_players();
     if n == 0 {

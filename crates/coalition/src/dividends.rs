@@ -15,6 +15,7 @@
 
 use crate::coalition::Coalition;
 use crate::game::CoalitionalGame;
+use fedval_simplex::approx::{is_zero, NOISE_EPS};
 
 /// Computes all `2^n` Harsanyi dividends with the fast in-place Möbius
 /// transform, `O(n·2^n)`.
@@ -59,7 +60,7 @@ pub fn shapley_from_dividends<G: CoalitionalGame>(game: &G) -> Vec<f64> {
     let d = harsanyi_dividends(game);
     let mut phi = vec![0.0; n];
     for (mask, &div) in d.iter().enumerate() {
-        if mask == 0 || div == 0.0 {
+        if mask == 0 || is_zero(div, NOISE_EPS) {
             continue;
         }
         let c = Coalition(mask as u64);

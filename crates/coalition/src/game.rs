@@ -4,7 +4,7 @@
 use crate::coalition::{Coalition, PlayerId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A transferable-utility coalitional game `(N, V)`.
 ///
@@ -117,9 +117,14 @@ impl CoalitionalGame for TableGame {
 ///
 /// Thread-safe: concurrent solution-concept code (e.g. the parallel Shapley
 /// pass) may share one `CachedGame` across threads.
+///
+/// The memo table is a `BTreeMap` keyed by coalition mask: iteration (and
+/// any future snapshot/export of the cache) visits coalitions in ascending
+/// mask order, so nothing downstream can ever observe hash-seed-dependent
+/// ordering (fedval-lint rule `nondeterministic-iteration`).
 pub struct CachedGame<G> {
     inner: G,
-    cache: RwLock<HashMap<u64, f64>>,
+    cache: RwLock<BTreeMap<u64, f64>>,
 }
 
 impl<G: CoalitionalGame> CachedGame<G> {
@@ -127,7 +132,7 @@ impl<G: CoalitionalGame> CachedGame<G> {
     pub fn new(inner: G) -> CachedGame<G> {
         CachedGame {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(BTreeMap::new()),
         }
     }
 

@@ -17,6 +17,7 @@
 use crate::coalition::Coalition;
 use crate::dividends::harsanyi_dividends;
 use crate::game::CoalitionalGame;
+use fedval_simplex::approx::{is_zero, NOISE_EPS};
 
 /// Pairwise Shapley interaction indices: `matrix[i][j] = I(i, j)`
 /// (symmetric; the diagonal is set to 0).
@@ -27,7 +28,7 @@ pub fn interaction_matrix<G: CoalitionalGame>(game: &G) -> Vec<Vec<f64>> {
     for (mask, &div) in d.iter().enumerate() {
         let s = Coalition(mask as u64);
         let size = s.len();
-        if size < 2 || div == 0.0 {
+        if size < 2 || is_zero(div, NOISE_EPS) {
             continue;
         }
         let weight = div / (size as f64 - 1.0);
@@ -48,6 +49,8 @@ pub fn strongest_complements<G: CoalitionalGame>(game: &G) -> Option<(usize, usi
     let m = interaction_matrix(game);
     let n = m.len();
     let mut best: Option<(usize, usize, f64)> = None;
+    // why: the j > i triangular scan over the symmetric matrix is clearer
+    // with explicit indices than with nested iterator adaptors.
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {

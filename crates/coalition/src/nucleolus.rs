@@ -35,12 +35,20 @@ const TOL: f64 = 1e-7;
 pub fn nucleolus<G: CoalitionalGame>(game: &G) -> Vec<f64> {
     match try_nucleolus(game) {
         Ok(x) => x,
+        // lint: allow(no-panic-path) — documented `# Panics` convenience
+        // wrapper; fallible callers use the try_ variant instead.
         Err(e) => panic!("nucleolus: {e}"),
     }
 }
 
 /// Computes the nucleolus allocation, reporting failures as [`GameError`]
 /// instead of panicking — the entry point for degraded-mode pipelines.
+///
+/// # Errors
+/// [`GameError::NoPlayers`] for an empty game, [`GameError::TooManyPlayers`]
+/// above 12 players (the LP cascade becomes impractical), or
+/// [`GameError::MalformedLp`] when the characteristic function produces NaN
+/// or infinite values.
 pub fn try_nucleolus<G: CoalitionalGame>(game: &G) -> Result<Vec<f64>, GameError> {
     let n = game.n_players();
     if n == 0 {
@@ -208,6 +216,8 @@ fn equality_rank(n: usize, frozen: &[(Coalition, f64)]) -> usize {
         for r in 0..rows.len() {
             if r != rank && rows[r][col].abs() > 1e-12 {
                 let f = rows[r][col] / pivot_val;
+                // why: Gaussian elimination reads row/col indices off the
+                // math; a zip over two mutable row slices would not.
                 #[allow(clippy::needless_range_loop)]
                 for c in col..n {
                     let delta = f * rows[rank][c];

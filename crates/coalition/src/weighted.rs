@@ -18,6 +18,7 @@
 use crate::coalition::Coalition;
 use crate::dividends::harsanyi_dividends;
 use crate::game::CoalitionalGame;
+use fedval_simplex::approx::{is_zero, NOISE_EPS};
 
 /// Weighted Shapley value with positive weights `w` (one per player).
 ///
@@ -35,7 +36,7 @@ pub fn weighted_shapley<G: CoalitionalGame>(game: &G, w: &[f64]) -> Vec<f64> {
     let d = harsanyi_dividends(game);
     let mut phi = vec![0.0; n];
     for (mask, &div) in d.iter().enumerate() {
-        if mask == 0 || div == 0.0 {
+        if mask == 0 || is_zero(div, NOISE_EPS) {
             continue;
         }
         let s = Coalition(mask as u64);

@@ -145,6 +145,12 @@ impl std::error::Error for SolveError {}
 const MAX_GRID: u64 = 4_000_000;
 
 /// Solves eq. 2 on `profile` for `demand`.
+///
+/// # Errors
+/// [`SolveError::MixedResourceClasses`], [`SolveError::MixedShapes`], or
+/// [`SolveError::NonlinearMixture`] when the demand mix falls outside the
+/// analytic fast paths, and [`SolveError::SearchTooLarge`] when the
+/// admission-grid scan would exceed its budget.
 pub fn solve(profile: &CapacityProfile, demand: &Demand) -> Result<ProfileSolution, SolveError> {
     let classes = &demand.components;
     if classes.is_empty() || profile.n_locations() == 0 {

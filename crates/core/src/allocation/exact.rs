@@ -28,6 +28,12 @@ const MAX_EXPERIMENTS: u64 = 8;
 /// Instances exceeding the enumeration limits (`n_locations ≤ 16`, total
 /// experiments ≤ 8) or mixing `resources_per_location` are rejected as a
 /// [`SolveError`] instead of being ground through for hours.
+///
+/// # Errors
+/// [`SolveError::TooManyLocations`] or
+/// [`SolveError::ExperimentBudgetExceeded`] when the instance exceeds the
+/// enumeration limits, and [`SolveError::MixedResourceClasses`] when
+/// classes disagree on `resources_per_location`.
 pub fn solve_exact(
     profile: &CapacityProfile,
     demand: &Demand,

@@ -70,12 +70,19 @@ impl<G: CoalitionalGame> AvailabilityGame<G> {
     pub fn new(base: G, availability: Vec<f64>) -> AvailabilityGame<G> {
         match AvailabilityGame::try_new(base, availability) {
             Ok(g) => g,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper; fallible callers use the try_ variant instead.
             Err(e) => panic!("AvailabilityGame::new: {e}"),
         }
     }
 
     /// Wraps `base` with per-player availabilities, rejecting malformed
     /// vectors as an [`AvailabilityError`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`AvailabilityError::LengthMismatch`] when the vector length differs
+    /// from the base game's player count; [`AvailabilityError::OutOfRange`]
+    /// when any value is NaN or outside `(0, 1]`.
     pub fn try_new(
         base: G,
         availability: Vec<f64>,

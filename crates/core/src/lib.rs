@@ -69,3 +69,10 @@ pub use value::FederationGame;
 
 // Re-export the game-theory engine so downstream users need one import.
 pub use fedval_coalition as coalition;
+
+// The workspace-wide float-comparison discipline (see fedval-lint's
+// `float-eq` rule): tolerance helpers live in the dependency-free
+// `fedval-simplex` crate and are re-exported here as the canonical path
+// for the model/testbed/policy layers.
+pub use fedval_simplex::approx;
+pub use fedval_simplex::approx::{approx_eq, is_zero, NOISE_EPS};

@@ -87,6 +87,10 @@ impl P2pOutcome {
 /// `demands[i]` is the demand of facility `i`'s affiliated users. All
 /// classes across facilities must share the same utility shape and
 /// resources-per-location (the analytic optimizer's requirements).
+///
+/// # Errors
+/// Propagates the first [`SolveError`] from any per-facility or pooled
+/// allocation solve (unsupported demand mixes, oversized scans).
 pub fn p2p_allocate(facilities: &[Facility], demands: &[Demand]) -> Result<P2pOutcome, SolveError> {
     assert_eq!(facilities.len(), demands.len());
     let n = facilities.len();

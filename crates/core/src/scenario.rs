@@ -75,11 +75,17 @@ impl FederationScenario {
     ) -> FederationScenario {
         match FederationScenario::try_from_measured(facilities, demand, game) {
             Ok(s) => s,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper; fallible callers use the try_ variant instead.
             Err(e) => panic!("FederationScenario::from_measured: {e}"),
         }
     }
 
     /// Fallible form of [`FederationScenario::from_measured`].
+    ///
+    /// # Errors
+    /// [`PlayerCountMismatch`] when the measured table's player count differs
+    /// from the facility count.
     pub fn try_from_measured(
         facilities: Vec<Facility>,
         demand: Demand,

@@ -43,6 +43,10 @@ impl<'a> FederationGame<'a> {
     }
 
     /// Full allocation solution for a coalition (not just its value).
+    ///
+    /// # Errors
+    /// Any [`SolveError`] from the analytic optimizer when the demand profile
+    /// is outside its supported cases.
     pub fn solve_coalition(&self, coalition: Coalition) -> Result<ProfileSolution, SolveError> {
         let members: Vec<&Facility> = coalition.players().map(|p| &self.facilities[p]).collect();
         let profile = coalition_profile(members);
@@ -69,6 +73,8 @@ impl CoalitionalGame for FederationGame<'_> {
     fn value(&self, coalition: Coalition) -> f64 {
         match self.solve_coalition(coalition) {
             Ok(solution) => solution.total_utility,
+            // lint: allow(no-panic-path) — the CoalitionalGame trait is infallible;
+            // `# Panics` documents this, and callers validate via solve_coalition.
             Err(e) => panic!("FederationGame::value: unsupported demand: {e}"),
         }
     }

@@ -127,12 +127,18 @@ impl<E> Simulator<E> {
     /// [`Simulator::try_schedule_at`] on paths that must not panic.
     pub fn schedule_at(&mut self, at: f64, payload: E) {
         if let Err(e) = self.try_schedule_at(at, payload) {
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper; fallible callers use try_schedule_at instead.
             panic!("schedule_at: {e}");
         }
     }
 
     /// Schedules `payload` at absolute time `at`, rejecting non-finite or
     /// past times as a [`ScheduleError`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`ScheduleError::NonFiniteTime`] for NaN or infinite `at`;
+    /// [`ScheduleError::TimeInPast`] when `at` precedes the current clock.
     pub fn try_schedule_at(&mut self, at: f64, payload: E) -> Result<(), ScheduleError> {
         if !at.is_finite() {
             return Err(ScheduleError::NonFiniteTime { at });
@@ -156,12 +162,18 @@ impl<E> Simulator<E> {
     /// [`Simulator::try_schedule`] on paths that must not panic.
     pub fn schedule(&mut self, delay: f64, payload: E) {
         if let Err(e) = self.try_schedule(delay, payload) {
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper; fallible callers use try_schedule instead.
             panic!("schedule: {e}");
         }
     }
 
     /// Schedules `payload` after a `delay` from the current time, rejecting
     /// negative or non-finite delays as a [`ScheduleError`].
+    ///
+    /// # Errors
+    /// [`ScheduleError::NegativeDelay`] for NaN or negative `delay`; otherwise
+    /// as [`Simulator::try_schedule_at`].
     pub fn try_schedule(&mut self, delay: f64, payload: E) -> Result<(), ScheduleError> {
         if delay.is_nan() || delay < 0.0 {
             return Err(ScheduleError::NegativeDelay { delay });

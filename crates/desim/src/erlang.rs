@@ -4,12 +4,18 @@
 //! Paschalidis–Liu; Erlang B is its single-link kernel and serves as the
 //! analytical baseline the simulator is validated against.
 
+use fedval_simplex::approx::{is_zero, NOISE_EPS};
+
 /// Erlang-B blocking probability for offered load `a` (Erlang) and `c`
 /// servers, computed with the numerically stable recurrence
 /// `B(0) = 1, B(k) = a·B(k−1) / (k + a·B(k−1))`.
+///
+/// Offered loads within [`NOISE_EPS`] of zero short-circuit to zero
+/// blocking: at `a ≤ 1e-12` the exact `B ≈ aᶜ/c!` is far below float
+/// resolution for any `c ≥ 1`, and the recurrence would only add noise.
 pub fn erlang_b(a: f64, c: usize) -> f64 {
     assert!(a >= 0.0 && a.is_finite());
-    if a == 0.0 {
+    if is_zero(a, NOISE_EPS) {
         return 0.0;
     }
     let mut b = 1.0;

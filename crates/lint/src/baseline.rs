@@ -1,0 +1,224 @@
+//! The ratcheted baseline: committed debt that may only shrink.
+//!
+//! `lint-baseline.toml` records, per rule and file, how many findings the
+//! workspace is *allowed* to carry. Runs that exceed a budget anywhere
+//! fail (exit code 2); runs that come in under budget report the slack so
+//! the baseline can be ratcheted down with `--update-baseline`. The
+//! format is a deliberately tiny TOML subset — sections per rule, quoted
+//! file paths as keys, integer counts — parsed here without any TOML
+//! dependency:
+//!
+//! ```toml
+//! [errors-doc]
+//! "crates/core/src/p2p.rs" = 1
+//! ```
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Budgets keyed by `(rule, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// rule → file → allowed finding count.
+    pub budgets: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A budget violation or improvement for one `(rule, file)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Findings in this run.
+    pub current: usize,
+    /// Findings allowed by the baseline.
+    pub allowed: usize,
+}
+
+impl Delta {
+    /// Findings beyond budget (`0` when at or under).
+    pub fn over(&self) -> usize {
+        self.current.saturating_sub(self.allowed)
+    }
+
+    /// Unused budget (`0` when at or over) — ratchet candidates.
+    pub fn slack(&self) -> usize {
+        self.allowed.saturating_sub(self.current)
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline file format.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line for anything outside
+    /// the supported subset: content before the first section, malformed
+    /// section headers or key/value pairs, non-integer counts.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut budgets: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(head) = line.strip_prefix('[') {
+                let Some(name) = head.strip_suffix(']') else {
+                    return Err(format!("line {}: unterminated section header", idx + 1));
+                };
+                let name = name.trim();
+                budgets.entry(name.to_string()).or_default();
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some(section) = section.as_ref() else {
+                return Err(format!("line {}: entry before any [rule] section", idx + 1));
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"file\" = count`", idx + 1));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer", idx + 1))?;
+            if let Some(files) = budgets.get_mut(section) {
+                files.insert(key, count);
+            }
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Builds a baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut budgets: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            *budgets
+                .entry(f.rule.to_string())
+                .or_default()
+                .entry(f.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { budgets }
+    }
+
+    /// Serializes in the canonical (sorted, quoted-key) form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# fedval-lint ratcheted baseline: per-rule, per-file budgets for\n\
+             # pre-existing findings. New findings anywhere fail CI; shrink this\n\
+             # file by fixing debt and running:\n\
+             #\n\
+             #   cargo run -p fedval-lint --release -- --update-baseline\n\
+             #\n\
+             # Never edit budgets upward by hand — add a justified inline marker\n\
+             # (see DESIGN.md §7) if a finding is intentional.\n",
+        );
+        for (rule, files) in &self.budgets {
+            if files.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n[{rule}]\n");
+            for (file, count) in files {
+                let _ = writeln!(out, "\"{file}\" = {count}");
+            }
+        }
+        out
+    }
+
+    /// Budget for one `(rule, file)` pair.
+    pub fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.budgets
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Compares findings against budgets: one [`Delta`] per `(rule, file)`
+    /// pair present in either side, sorted by `(rule, file)`.
+    pub fn diff(&self, findings: &[Finding]) -> Vec<Delta> {
+        let current = Baseline::from_findings(findings);
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for (rule, files) in current.budgets.iter().chain(self.budgets.iter()) {
+            for file in files.keys() {
+                let key = (rule.clone(), file.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        keys.into_iter()
+            .map(|(rule, file)| Delta {
+                current: current.allowed(&rule, &file),
+                allowed: self.allowed(&rule, &file),
+                rule,
+                file,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            krate: "core".to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            finding("float-eq", "crates/core/src/a.rs", 3),
+            finding("float-eq", "crates/core/src/a.rs", 9),
+            finding("errors-doc", "src/lib.rs", 1),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&b.render());
+        assert_eq!(parsed.as_ref(), Ok(&b));
+        assert_eq!(b.allowed("float-eq", "crates/core/src/a.rs"), 2);
+        assert_eq!(b.allowed("errors-doc", "src/lib.rs"), 1);
+        assert_eq!(b.allowed("errors-doc", "missing.rs"), 0);
+    }
+
+    #[test]
+    fn diff_reports_over_and_slack() {
+        let old = Baseline::from_findings(&[
+            finding("float-eq", "a.rs", 1),
+            finding("float-eq", "a.rs", 2),
+        ]);
+        let now = vec![
+            finding("float-eq", "a.rs", 1),
+            finding("no-panic-path", "b.rs", 4),
+        ];
+        let deltas = old.diff(&now);
+        let fe = deltas.iter().find(|d| d.rule == "float-eq");
+        assert!(fe.is_some_and(|d| d.slack() == 1 && d.over() == 0));
+        let np = deltas.iter().find(|d| d.rule == "no-panic-path");
+        assert!(np.is_some_and(|d| d.over() == 1 && d.allowed == 0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        assert!(Baseline::parse("\"x.rs\" = 1").is_err());
+        assert!(Baseline::parse("[rule]\nnot a pair").is_err());
+        assert!(Baseline::parse("[rule]\n\"x.rs\" = many").is_err());
+        assert!(Baseline::parse("[unclosed\n").is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let b = Baseline::parse("# header\n\n[float-eq]\n# note\n\"a.rs\" = 2\n");
+        assert!(b.is_ok_and(|b| b.allowed("float-eq", "a.rs") == 2));
+    }
+}

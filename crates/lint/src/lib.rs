@@ -1,0 +1,68 @@
+#![deny(missing_docs)]
+
+//! `fedval-lint`: a zero-dependency static-analysis pass for the fedval
+//! workspace.
+//!
+//! The paper's "compute ϕ̂ᵢ off-line" policy loop is only trustworthy if
+//! every coalition value is reproducible and panic-free. Generic tooling
+//! cannot express those invariants, so this crate ships a lightweight
+//! Rust lexer ([`lexer`]) and six fedval-specific rules ([`rules`]):
+//!
+//! | rule | discipline |
+//! |------|------------|
+//! | `no-panic-path` | no `unwrap`/`expect`/`panic!`-family outside tests |
+//! | `float-eq` | no raw `==`/`!=` against float literals |
+//! | `lossy-cast` | narrowing `as` casts need `try_from` or a marker |
+//! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in value-affecting crates |
+//! | `errors-doc` | `pub fn … -> Result` documents `# Errors` |
+//! | `allow-audit` | every suppression carries a justification |
+//!
+//! Findings are diffed against a committed [`baseline`]
+//! (`lint-baseline.toml`): pre-existing debt warns, *new* debt fails.
+//! See `DESIGN.md` §7 for the full workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+use baseline::{Baseline, Delta};
+use rules::Finding;
+use std::io;
+use std::path::Path;
+
+/// Outcome of linting a whole workspace.
+#[derive(Debug, Clone)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Per-`(rule, file)` comparison against the baseline.
+    pub deltas: Vec<Delta>,
+}
+
+impl WorkspaceReport {
+    /// Total findings beyond the baseline's budgets.
+    pub fn new_findings(&self) -> usize {
+        self.deltas.iter().map(Delta::over).sum()
+    }
+}
+
+/// Lints every source file under `root` and diffs against `baseline`.
+///
+/// # Errors
+/// Propagates [`io::Error`] from directory traversal or file reads; an
+/// unreadable workspace is a lint-infrastructure failure, never a silent
+/// pass.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<WorkspaceReport> {
+    let mut findings = Vec::new();
+    for src in walker::collect_sources(root)? {
+        let text = std::fs::read_to_string(&src.path)?;
+        findings.extend(rules::lint_file(&text, &src.rel, &src.krate));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    let deltas = baseline.diff(&findings);
+    Ok(WorkspaceReport { findings, deltas })
+}

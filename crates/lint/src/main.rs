@@ -1,0 +1,149 @@
+//! `fedval-lint` CLI driver.
+//!
+//! Exit codes: `0` — no findings above the baseline; `2` — new findings
+//! above the baseline (CI should fail); `1` — the linter itself could not
+//! run (bad flags, unreadable workspace, corrupt baseline).
+
+use fedval_lint::baseline::Baseline;
+use fedval_lint::{lint_workspace, report};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Prints to stdout, ignoring broken pipes (`fedval-lint | head` must not
+/// panic — the linter holds itself to its own no-panic rule).
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+const USAGE: &str = "\
+fedval-lint: workspace static-analysis pass with a ratcheted baseline.
+
+USAGE:
+    fedval-lint [OPTIONS]
+
+OPTIONS:
+    --json               emit machine-readable JSON instead of the report
+    --update-baseline    rewrite the baseline to exactly cover current findings
+    --root <PATH>        workspace root (default: autodetected from cwd)
+    --baseline <PATH>    baseline file (default: <root>/lint-baseline.toml)
+    --help               print this help
+
+EXIT CODES:
+    0    clean (no findings above baseline)
+    2    new findings above baseline
+    1    linter failure (bad flags, unreadable workspace, corrupt baseline)";
+
+struct Options {
+    json: bool,
+    update_baseline: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        json: false,
+        update_baseline: false,
+        root: None,
+        baseline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path argument")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path argument")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    None
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse_args(&args)? else {
+        emit(USAGE);
+        emit("\n");
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| format!("cannot determine working directory: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml found above the working directory; pass --root")?
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
+    };
+
+    let ws = lint_workspace(&root, &baseline)
+        .map_err(|e| format!("linting {}: {e}", root.display()))?;
+
+    if opts.update_baseline {
+        let fresh = Baseline::from_findings(&ws.findings);
+        std::fs::write(&baseline_path, fresh.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        emit(&format!(
+            "fedval-lint: baseline rewritten to {} ({} finding(s) across {} rule(s))\n",
+            baseline_path.display(),
+            ws.findings.len(),
+            fresh.budgets.values().filter(|f| !f.is_empty()).count()
+        ));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.json {
+        emit(&report::json(&ws.findings, &ws.deltas));
+    } else {
+        emit(&report::human(&ws.findings, &ws.deltas));
+    }
+    if ws.new_findings() > 0 {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fedval-lint: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Finding presentation: the human report (rule × crate groups with
+//! file:line anchors, new-vs-baseline delta) and the `--json` machine
+//! format.
+//!
+//! Both renderings are fully deterministic: findings arrive pre-sorted
+//! from the driver and all grouping uses ordered maps.
+
+use crate::baseline::Delta;
+use crate::rules::{Finding, RULE_NAMES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the grouped human-readable report.
+pub fn human(findings: &[Finding], deltas: &[Delta]) -> String {
+    let mut out = String::new();
+    let over_total: usize = deltas.iter().map(Delta::over).sum();
+    let slack_total: usize = deltas.iter().map(Delta::slack).sum();
+
+    if findings.is_empty() {
+        out.push_str("fedval-lint: no findings — the workspace is clean.\n");
+    }
+    for rule in RULE_NAMES {
+        let of_rule: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+        if of_rule.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "rule {rule} — {} finding(s)", of_rule.len());
+        let mut by_crate: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+        for f in of_rule {
+            by_crate.entry(f.krate.as_str()).or_default().push(f);
+        }
+        for (krate, fs) in by_crate {
+            let _ = writeln!(out, "  crate {krate}:");
+            for f in fs {
+                let _ = writeln!(out, "    {}:{}  {}", f.file, f.line, f.message);
+            }
+        }
+        out.push('\n');
+    }
+
+    if over_total > 0 {
+        let _ = writeln!(
+            out,
+            "NEW findings above baseline: {over_total} (budget exceeded — fix them or justify with an inline marker):"
+        );
+        for d in deltas.iter().filter(|d| d.over() > 0) {
+            let _ = writeln!(
+                out,
+                "  {}: {} at {} (baseline allows {})",
+                d.rule,
+                d.current,
+                d.file,
+                d.allowed
+            );
+        }
+    } else {
+        let _ = writeln!(out, "No findings above baseline.");
+    }
+    if slack_total > 0 {
+        let _ = writeln!(
+            out,
+            "Ratchet opportunity: {slack_total} baseline slot(s) no longer needed — run with --update-baseline to shrink the debt."
+        );
+    }
+    out
+}
+
+/// Renders findings and deltas as deterministic JSON.
+pub fn json(findings: &[Finding], deltas: &[Delta]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"crate\": {}, \"message\": {}}}",
+            if i == 0 { "" } else { "," },
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.krate),
+            escape(&f.message)
+        );
+    }
+    out.push_str(if findings.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"deltas\": [");
+    let interesting: Vec<&Delta> = deltas
+        .iter()
+        .filter(|d| d.over() > 0 || d.slack() > 0)
+        .collect();
+    for (i, d) in interesting.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"current\": {}, \"allowed\": {}, \"new\": {}}}",
+            if i == 0 { "" } else { "," },
+            escape(&d.rule),
+            escape(&d.file),
+            d.current,
+            d.allowed,
+            d.over()
+        );
+    }
+    out.push_str(if interesting.is_empty() { "],\n" } else { "\n  ],\n" });
+    let total_new: usize = deltas.iter().map(Delta::over).sum();
+    let _ = write!(
+        out,
+        "  \"summary\": {{\"total\": {}, \"new\": {}}}\n}}\n",
+        findings.len(),
+        total_new
+    );
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c < ' ' => {
+                // lint: allow(lossy-cast) — char → u32 widens; never lossy.
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            krate: crate::walker::crate_of(file),
+            message: format!("m{line}"),
+        }
+    }
+
+    #[test]
+    fn human_groups_by_rule_then_crate() {
+        let fs = vec![
+            finding("float-eq", "crates/core/src/a.rs", 1),
+            finding("float-eq", "crates/desim/src/b.rs", 2),
+            finding("no-panic-path", "src/lib.rs", 3),
+        ];
+        let r = human(&fs, &[]);
+        let np = r.find("rule no-panic-path");
+        let fe = r.find("rule float-eq");
+        assert!(np < fe, "rules in RULE_NAMES order");
+        assert!(r.contains("crates/core/src/a.rs:1"));
+        assert!(r.contains("crate desim:"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = finding("float-eq", "a\"b.rs", 1);
+        f.message = "uses `==`\non floats".to_string();
+        let j = json(&[f], &[]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"total\": 1"));
+        assert!(j.contains("\"new\": 0"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = human(&[], &[]);
+        assert!(r.contains("clean"));
+        let j = json(&[], &[]);
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,679 @@
+//! The fedval-specific lint rules.
+//!
+//! Every rule operates on the token stream of one file (see
+//! [`crate::lexer`]), restricted to non-test code, and yields
+//! [`Finding`]s. Findings can be suppressed by a *justified* inline
+//! marker:
+//!
+//! ```text
+//! // lint: allow(<rule>) — <reason of at least 8 characters>
+//! ```
+//!
+//! placed on the offending line or on a comment line directly above it.
+//! Unjustified markers and bare `#[allow(..)]` attributes are themselves
+//! findings (rule `allow-audit`), so every suppression leaves an audit
+//! trail.
+
+use crate::lexer::{test_mask, Tok, TokKind};
+
+/// Rule identifiers, in reporting order.
+pub const RULE_NAMES: [&str; 6] = [
+    "no-panic-path",
+    "float-eq",
+    "lossy-cast",
+    "nondeterministic-iteration",
+    "errors-doc",
+    "allow-audit",
+];
+
+/// Crates whose outputs feed Shapley/nucleolus/policy pipelines: any
+/// nondeterminism here (e.g. `HashMap` iteration order) can perturb
+/// published numbers, so the `nondeterministic-iteration` rule is scoped
+/// to them.
+pub const VALUE_AFFECTING_CRATES: [&str; 4] = ["core", "coalition", "desim", "simplex"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Crate identifier (directory name under `crates/`, or `fedval` for
+    /// the root package).
+    pub krate: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A parsed `// lint: allow(rule) — reason` marker.
+#[derive(Debug, Clone)]
+struct Marker {
+    rule: String,
+    reason: String,
+    /// Line of the marker comment itself.
+    line: u32,
+    /// Line the marker suppresses (first code line at/after the marker).
+    target: u32,
+}
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+const NARROW_CAST_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+const INT_CAST_TARGETS: [&str; 4] = ["usize", "u64", "i64", "isize"];
+const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+const MIN_REASON_LEN: usize = 8;
+
+/// Lints one file's source text. `file` must be the workspace-relative
+/// path with forward slashes; `krate` the owning crate's identifier.
+pub fn lint_file(source: &str, file: &str, krate: &str) -> Vec<Finding> {
+    let toks = lex_with_mask(source);
+    let markers = collect_markers(&toks.tokens);
+    let mut findings = Vec::new();
+
+    no_panic_path(&toks, file, krate, &mut findings);
+    float_eq(&toks, file, krate, &mut findings);
+    lossy_cast(&toks, file, krate, &mut findings);
+    nondeterministic_iteration(&toks, file, krate, &mut findings);
+    errors_doc(&toks, file, krate, &mut findings);
+    allow_audit(&toks, &markers, file, krate, &mut findings);
+
+    // Apply justified markers: a finding is suppressed when a marker for
+    // its rule targets its line. Markers with hollow reasons suppress
+    // nothing (and were flagged by allow_audit above).
+    findings.retain(|f| {
+        f.rule == "allow-audit"
+            || !markers.iter().any(|m| {
+                m.rule == f.rule && m.target == f.line && m.reason.len() >= MIN_REASON_LEN
+            })
+    });
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Token stream plus derived views used by the rules.
+struct Lexed {
+    tokens: Vec<Tok>,
+    in_test: Vec<bool>,
+    /// Indices of non-comment tokens, for neighbor lookups.
+    code: Vec<usize>,
+}
+
+fn lex_with_mask(source: &str) -> Lexed {
+    let tokens = crate::lexer::lex(source);
+    let in_test = test_mask(&tokens);
+    let code = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    Lexed {
+        tokens,
+        in_test,
+        code,
+    }
+}
+
+impl Lexed {
+    fn code_tok(&self, ci: usize) -> &Tok {
+        &self.tokens[self.code[ci]]
+    }
+
+    fn code_in_test(&self, ci: usize) -> bool {
+        self.in_test[self.code[ci]]
+    }
+}
+
+fn finding(
+    rule: &'static str,
+    file: &str,
+    krate: &str,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        krate: krate.to_string(),
+        message,
+    }
+}
+
+/// `unwrap()`/`expect()` calls and panic-family macros in non-test code.
+fn no_panic_path(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = ci.checked_sub(1).map(|p| lx.code_tok(p));
+        let next = lx.code.get(ci + 1).map(|&i| &lx.tokens[i]);
+        if PANIC_METHODS.contains(&t.text.as_str())
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            out.push(finding(
+                "no-panic-path",
+                file,
+                krate,
+                t.line,
+                format!(
+                    ".{}() can panic — propagate with `?` and a FedError variant instead",
+                    t.text
+                ),
+            ));
+        }
+        if PANIC_MACROS.contains(&t.text.as_str()) && next.is_some_and(|n| n.is_punct("!")) {
+            out.push(finding(
+                "no-panic-path",
+                file,
+                krate,
+                t.line,
+                format!(
+                    "{}! aborts the value pipeline — return a FedError instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `==`/`!=` with a float literal on either side.
+fn float_eq(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_is_float = ci
+            .checked_sub(1)
+            .is_some_and(|p| lx.code_tok(p).kind == TokKind::Float);
+        // `x == -1.0`: a unary minus may sit between operator and literal.
+        let next_is_float = lx.code.get(ci + 1).is_some_and(|&i| {
+            lx.tokens[i].kind == TokKind::Float
+                || (lx.tokens[i].is_punct("-")
+                    && lx
+                        .code
+                        .get(ci + 2)
+                        .is_some_and(|&k| lx.tokens[k].kind == TokKind::Float))
+        });
+        if prev_is_float || next_is_float {
+            out.push(finding(
+                "float-eq",
+                file,
+                krate,
+                t.line,
+                format!(
+                    "raw float `{}` comparison — use is_zero/approx_eq from fedval_core::approx with an explicit tolerance",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Narrowing `as` casts: any cast to a sub-64-bit numeric type, and
+/// float-literal `as` integer truncations.
+fn lossy_cast(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(&target_i) = lx.code.get(ci + 1) else {
+            continue;
+        };
+        let target = &lx.tokens[target_i];
+        if target.kind != TokKind::Ident {
+            continue;
+        }
+        let narrow = NARROW_CAST_TARGETS.contains(&target.text.as_str());
+        let float_to_int = INT_CAST_TARGETS.contains(&target.text.as_str())
+            && ci
+                .checked_sub(1)
+                .is_some_and(|p| lx.code_tok(p).kind == TokKind::Float);
+        if narrow || float_to_int {
+            out.push(finding(
+                "lossy-cast",
+                file,
+                krate,
+                t.line,
+                format!(
+                    "narrowing `as {}` cast — use try_from or justify with a lint marker",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `HashMap`/`HashSet` mentions in value-affecting crates.
+fn nondeterministic_iteration(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    if !VALUE_AFFECTING_CRATES.contains(&krate) {
+        return;
+    }
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if t.kind == TokKind::Ident && HASH_COLLECTIONS.contains(&t.text.as_str()) {
+            out.push(finding(
+                "nondeterministic-iteration",
+                file,
+                krate,
+                t.line,
+                format!(
+                    "{} iteration order is hash-seed dependent — use BTreeMap/BTreeSet or a sorted Vec in value-affecting crates",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `pub fn … -> Result<..>` must document failure modes under `# Errors`.
+fn errors_doc(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    // Walk raw tokens so doc comments can be associated with items: a doc
+    // block belongs to the next item unless interrupted by non-attribute
+    // code.
+    let mut docs_have_errors = false;
+    let mut docs_pending = false;
+    let mut i = 0usize;
+    let toks = &lx.tokens;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Comment {
+            if t.doc {
+                if !docs_pending {
+                    docs_pending = true;
+                    docs_have_errors = false;
+                }
+                if t.text.contains("# Errors") {
+                    docs_have_errors = true;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Attributes between docs and item do not break the association.
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct("!") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("[") {
+                let mut depth = 0u32;
+                while j < toks.len() {
+                    if toks[j].is_punct("[") {
+                        depth += 1;
+                    } else if toks[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.is_ident("pub") && !lx.in_test[i] {
+            if let Some((name, line, sig_end)) = parse_pub_fn(toks, i) {
+                if returns_result(toks, i, sig_end) && !(docs_pending && docs_have_errors) {
+                    out.push(finding(
+                        "errors-doc",
+                        file,
+                        krate,
+                        line,
+                        format!("pub fn {name} returns Result but documents no `# Errors` section"),
+                    ));
+                }
+                docs_pending = false;
+                i = sig_end;
+                continue;
+            }
+        }
+        docs_pending = false;
+        i += 1;
+    }
+}
+
+/// If `toks[i]` starts `pub [ (vis) ] [const|async|unsafe]* fn name`,
+/// returns `(name, line_of_fn, index_of_body_open_or_semicolon)`.
+fn parse_pub_fn(toks: &[Tok], i: usize) -> Option<(String, u32, usize)> {
+    let mut j = i + 1;
+    let code_at = |j: &mut usize| -> Option<usize> {
+        while *j < toks.len() && toks[*j].kind == TokKind::Comment {
+            *j += 1;
+        }
+        (*j < toks.len()).then_some(*j)
+    };
+    // Visibility qualifier `pub(crate)` etc. — restricted visibility is
+    // not public API, so skip the whole item.
+    if code_at(&mut j).is_some_and(|k| toks[k].is_punct("(")) {
+        return None;
+    }
+    while code_at(&mut j)
+        .is_some_and(|k| ["const", "async", "unsafe", "extern"].iter().any(|q| toks[k].is_ident(q)))
+    {
+        j += 1;
+    }
+    let k = code_at(&mut j)?;
+    if !toks[k].is_ident("fn") {
+        return None;
+    }
+    j = k + 1;
+    let k = code_at(&mut j)?;
+    if toks[k].kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[k].text.clone();
+    let line = toks[k].line;
+    // Scan to the body `{` or a trailing `;` at brace depth 0. Generic
+    // angle brackets need no special casing: no `{`/`;` can occur inside
+    // them in a signature.
+    let mut depth = 0u32;
+    let mut m = k + 1;
+    while m < toks.len() {
+        let t = &toks[m];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && (t.is_punct("{") || t.is_punct(";")) {
+            return Some((name, line, m));
+        }
+        m += 1;
+    }
+    Some((name, line, toks.len()))
+}
+
+/// Whether the signature tokens in `[start, end)` mention `Result` after
+/// the `->` return arrow.
+fn returns_result(toks: &[Tok], start: usize, end: usize) -> bool {
+    let mut seen_arrow = false;
+    for t in &toks[start..end.min(toks.len())] {
+        if t.is_punct("->") {
+            seen_arrow = true;
+        } else if seen_arrow && t.is_ident("Result") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects `// lint: allow(rule) — reason` markers.
+fn collect_markers(toks: &[Tok]) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '—', '-', ':', '–'])
+            .trim()
+            .to_string();
+        // Target: the first code token at or after the marker's line
+        // (same line for trailing markers, next code line otherwise —
+        // continuation comment lines in between are skipped).
+        let target = toks[i + 1..]
+            .iter()
+            .find(|n| n.kind != TokKind::Comment)
+            .map(|n| n.line)
+            .or_else(|| {
+                // Trailing marker on the last line of the file: suppress
+                // its own line.
+                toks[..i]
+                    .iter()
+                    .rev()
+                    .find(|p| p.kind != TokKind::Comment && p.line == t.line)
+                    .map(|p| p.line)
+            })
+            .unwrap_or(t.line);
+        // A trailing marker (code earlier on the same line) targets its
+        // own line even when more code follows below.
+        let trailing = toks[..i]
+            .iter()
+            .rev()
+            .find(|p| p.kind != TokKind::Comment)
+            .is_some_and(|p| p.line == t.line);
+        markers.push(Marker {
+            rule,
+            reason,
+            line: t.line,
+            target: if trailing { t.line } else { target },
+        });
+    }
+    markers
+}
+
+/// Audits suppressions: `#[allow(..)]` attributes need an adjacent
+/// justifying comment; lint markers need a non-hollow reason and a known
+/// rule name.
+fn allow_audit(
+    lx: &Lexed,
+    markers: &[Marker],
+    file: &str,
+    krate: &str,
+    out: &mut Vec<Finding>,
+) {
+    for m in markers {
+        if !RULE_NAMES.contains(&m.rule.as_str()) {
+            out.push(finding(
+                "allow-audit",
+                file,
+                krate,
+                m.line,
+                format!("lint marker names unknown rule `{}`", m.rule),
+            ));
+        } else if m.reason.len() < MIN_REASON_LEN {
+            out.push(finding(
+                "allow-audit",
+                file,
+                krate,
+                m.line,
+                format!(
+                    "lint marker for `{}` lacks a justification (≥ {MIN_REASON_LEN} chars after the rule)",
+                    m.rule
+                ),
+            ));
+        }
+    }
+    // #[allow(..)] attributes outside test code.
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct("#") || lx.in_test[i] {
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct("!") {
+            j += 1;
+        }
+        if !(j + 1 < toks.len() && toks[j].is_punct("[") && toks[j + 1].is_ident("allow")) {
+            continue;
+        }
+        let line = t.line;
+        let justified = toks.iter().any(|c| {
+            c.kind == TokKind::Comment
+                && !c.doc
+                && (c.line == line || c.line + 1 == line)
+                && c.text.trim_start_matches('/').trim().len() >= MIN_REASON_LEN
+        });
+        if !justified {
+            out.push(finding(
+                "allow-audit",
+                file,
+                krate,
+                line,
+                "#[allow(..)] without an adjacent justifying comment (same line or line above)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str, krate: &str) -> Vec<(&'static str, u32)> {
+        lint_file(src, "x.rs", krate)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        assert_eq!(rules_of(src, "core"), vec![("no-panic-path", 1)]);
+    }
+
+    #[test]
+    fn panic_macros_flagged_strings_ignored() {
+        let src = "fn f() { let s = \"panic!(no)\"; todo!(); }";
+        assert_eq!(rules_of(src, "core"), vec![("no-panic-path", 1)]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); y.expect_err(\"e\"); }";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn float_eq_adjacent_literal() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\nfn g(x: f64) -> bool { 1.5 != x }";
+        assert_eq!(
+            rules_of(src, "core"),
+            vec![("float-eq", 1), ("float-eq", 2)]
+        );
+    }
+
+    #[test]
+    fn int_eq_not_flagged() {
+        let src = "fn f(x: usize) -> bool { x == 0 && x != 3 }";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_narrow_target() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }\nfn g(x: usize) -> f64 { x as f64 }";
+        assert_eq!(rules_of(src, "core"), vec![("lossy-cast", 1)]);
+    }
+
+    #[test]
+    fn float_literal_truncation_flagged() {
+        let src = "fn f() -> usize { 2.5 as usize }";
+        assert_eq!(rules_of(src, "core"), vec![("lossy-cast", 1)]);
+    }
+
+    #[test]
+    fn hash_map_only_in_value_affecting_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); }";
+        assert_eq!(rules_of(src, "testbed"), vec![]);
+        let hits = rules_of(src, "coalition");
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|(r, _)| *r == "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn errors_doc_required_for_pub_result_fns() {
+        let src = "/// Does things.\npub fn f() -> Result<(), E> { Ok(()) }";
+        assert_eq!(rules_of(src, "core"), vec![("errors-doc", 2)]);
+        let ok = "/// Does things.\n///\n/// # Errors\n/// When e.\npub fn f() -> Result<(), E> { Ok(()) }";
+        assert!(rules_of(ok, "core").is_empty());
+    }
+
+    #[test]
+    fn errors_doc_ignores_private_and_non_result() {
+        let src = "fn f() -> Result<(), E> { Ok(()) }\npub(crate) fn g() -> Result<(), E> { Ok(()) }\npub fn h() -> u32 { 3 }";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn errors_doc_sees_through_attributes() {
+        let src = "/// Doc.\n///\n/// # Errors\n/// When e.\n#[inline]\n#[must_use]\npub fn f() -> Result<(), E> { Ok(()) }";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn result_in_argument_position_is_not_a_result_return() {
+        let src = "pub fn f(r: Result<u32, E>) -> u32 { 0 }";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn marker_suppresses_with_justification() {
+        let src = "fn f() {\n    // lint: allow(no-panic-path) — documented invariant, cannot fail\n    x.unwrap();\n}";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn marker_with_continuation_comment_still_targets_code() {
+        let src = "fn f() {\n    // lint: allow(no-panic-path) — documented invariant\n    // spanning two comment lines.\n    x.unwrap();\n}";
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn hollow_marker_suppresses_nothing_and_is_flagged() {
+        let src = "fn f() {\n    // lint: allow(no-panic-path)\n    x.unwrap();\n}";
+        let hits = rules_of(src, "core");
+        assert!(hits.contains(&("allow-audit", 2)));
+        assert!(hits.contains(&("no-panic-path", 3)));
+    }
+
+    #[test]
+    fn unknown_rule_marker_flagged() {
+        let src = "// lint: allow(no-such-rule) — because reasons galore\nfn f() {}";
+        assert_eq!(rules_of(src, "core"), vec![("allow-audit", 1)]);
+    }
+
+    #[test]
+    fn trailing_marker_targets_its_own_line() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(no-panic-path) — prototype shim, tracked in #42\nfn g() { y.unwrap(); }";
+        assert_eq!(rules_of(src, "core"), vec![("no-panic-path", 2)]);
+    }
+
+    #[test]
+    fn bare_allow_attribute_flagged_justified_one_passes() {
+        let bare = "#[allow(dead_code)]\nfn f() {}";
+        assert_eq!(rules_of(bare, "core"), vec![("allow-audit", 1)]);
+        let justified = "// why: staged API, used by the next PR in the stack\n#[allow(dead_code)]\nfn f() {}";
+        assert!(rules_of(justified, "core").is_empty());
+    }
+
+    #[test]
+    fn allow_in_test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[allow(dead_code)]\n    fn t() {}\n}";
+        assert!(rules_of(src, "core").is_empty());
+    }
+}

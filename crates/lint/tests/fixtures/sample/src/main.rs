@@ -1,0 +1,11 @@
+//! Lint-test fixture root binary. The `HashMap` here must NOT be flagged:
+//! `fedval` is not a value-affecting crate.
+
+use std::collections::HashMap;
+
+fn main() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    if m.is_empty() {
+        panic!("fixture panic");
+    }
+}

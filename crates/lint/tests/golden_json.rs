@@ -1,0 +1,82 @@
+//! Golden-file test: the `--json` rendering of the fixture corpus must
+//! match `tests/golden/sample.json` byte for byte.
+//!
+//! To regenerate after an intentional rule or format change:
+//!
+//! ```sh
+//! cargo run -p fedval-lint -- \
+//!     --root crates/lint/tests/fixtures/sample \
+//!     --baseline crates/lint/tests/fixtures/sample/sample-baseline.toml \
+//!     --json > crates/lint/tests/golden/sample.json
+//! ```
+
+use fedval_lint::baseline::Baseline;
+use fedval_lint::{lint_workspace, report};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sample")
+}
+
+#[test]
+fn json_output_matches_golden_file() {
+    let root = fixture_root();
+    let baseline_text = std::fs::read_to_string(root.join("sample-baseline.toml"))
+        .expect("fixture baseline readable");
+    let baseline = Baseline::parse(&baseline_text).expect("fixture baseline parses");
+    let ws = lint_workspace(&root, &baseline).expect("fixture lints");
+    let got = report::json(&ws.findings, &ws.deltas);
+
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sample.json");
+    let want = std::fs::read_to_string(&golden_path).expect("golden file readable");
+    assert_eq!(
+        got, want,
+        "JSON output drifted from the golden file; if intentional, regenerate \
+         it (see the module doc) and review the diff"
+    );
+}
+
+#[test]
+fn fixture_exercises_every_rule() {
+    let root = fixture_root();
+    let ws = lint_workspace(&root, &Baseline::default()).expect("fixture lints");
+    for rule in fedval_lint::rules::RULE_NAMES {
+        assert!(
+            ws.findings.iter().any(|f| f.rule == rule),
+            "fixture corpus produces no `{rule}` finding — the golden test \
+             would not catch a regression in that rule"
+        );
+    }
+}
+
+#[test]
+fn fixture_baseline_splits_old_from_new() {
+    let root = fixture_root();
+    let baseline_text = std::fs::read_to_string(root.join("sample-baseline.toml"))
+        .expect("fixture baseline readable");
+    let baseline = Baseline::parse(&baseline_text).expect("fixture baseline parses");
+    let ws = lint_workspace(&root, &baseline).expect("fixture lints");
+
+    // Budgeted findings don't count as new; unbudgeted ones do.
+    assert!(ws.new_findings() > 0, "fixture must have above-baseline debt");
+    assert!(
+        ws.new_findings() < ws.findings.len(),
+        "fixture must also have budgeted (pre-existing) debt"
+    );
+    // float-eq is over-budgeted (2 allowed, 1 present): slack, not new.
+    let slack: usize = ws
+        .deltas
+        .iter()
+        .filter(|d| d.rule == "float-eq")
+        .map(|d| d.slack())
+        .sum();
+    assert_eq!(slack, 1, "float-eq budget of 2 vs 1 finding leaves slack 1");
+
+    // The justified marker in the fixture suppresses its unwrap.
+    assert!(
+        !ws.findings
+            .iter()
+            .any(|f| f.rule == "no-panic-path" && f.line == 17),
+        "marker-suppressed unwrap must not surface"
+    );
+}

@@ -1,0 +1,61 @@
+//! Self-check: the fedval workspace must lint clean against its own
+//! committed baseline. This is the same gate ci.sh runs, expressed as a
+//! test so `cargo test` alone catches new lint debt.
+
+use fedval_lint::baseline::Baseline;
+use fedval_lint::lint_workspace;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // The lint crate lives at <root>/crates/lint.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_findings_above_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.toml");
+    let baseline_text =
+        std::fs::read_to_string(&baseline_path).expect("committed lint-baseline.toml readable");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline parses");
+    let ws = lint_workspace(&root, &baseline).expect("workspace lints");
+
+    let over: Vec<String> = ws
+        .deltas
+        .iter()
+        .filter(|d| d.over() > 0)
+        .map(|d| format!("  {}: {} at {} (baseline allows {})", d.rule, d.current, d.file, d.allowed))
+        .collect();
+    assert!(
+        over.is_empty(),
+        "new lint findings above baseline:\n{}\nfix them or justify with an \
+         inline `// lint: allow(<rule>) — reason` marker (see DESIGN.md §7)",
+        over.join("\n")
+    );
+}
+
+#[test]
+fn committed_baseline_carries_no_testbed_or_policy_panic_debt() {
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("committed lint-baseline.toml readable");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline parses");
+    let panic_debt: Vec<&String> = baseline
+        .budgets
+        .get("no-panic-path")
+        .map(|files| {
+            files
+                .keys()
+                .filter(|f| f.starts_with("crates/testbed/") || f.contains("policy"))
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(
+        panic_debt.is_empty(),
+        "testbed/policy panic debt crept back into the baseline: {panic_debt:?}"
+    );
+}

@@ -85,13 +85,7 @@ pub fn run_combinatorial_auction(facilities: &[Facility], bids: &[Bid]) -> Aucti
 
     // Greedy admission by density, ties broken by input order.
     let mut order: Vec<usize> = (0..bids.len()).collect();
-    order.sort_by(|&a, &b| {
-        bids[b]
-            .density()
-            .partial_cmp(&bids[a].density())
-            .expect("finite densities")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| bids[b].density().total_cmp(&bids[a].density()).then(a.cmp(&b)));
 
     let mut winners: Vec<usize> = Vec::new();
     let mut sizes: Vec<u64> = Vec::new();

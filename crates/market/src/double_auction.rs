@@ -70,13 +70,13 @@ pub fn clear_double_auction(asks: &[Ask], orders: &[Order]) -> MarketOutcome {
         .filter(|(_, a)| a.quantity > 0)
         .map(|(i, a)| (a.reserve, a.quantity, i))
         .collect();
-    supply.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite reserves"));
+    supply.sort_by(|x, y| x.0.total_cmp(&y.0));
     let mut demand: Vec<(f64, u64)> = orders
         .iter()
         .filter(|o| o.quantity > 0)
         .map(|o| (o.limit, o.quantity))
         .collect();
-    demand.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite limits"));
+    demand.sort_by(|x, y| y.0.total_cmp(&x.0));
 
     // March the two curves to find the crossing quantity.
     let mut traded = 0u64;

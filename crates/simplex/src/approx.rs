@@ -1,0 +1,69 @@
+//! Tolerance-based float comparison helpers shared across the workspace.
+//!
+//! Raw `==`/`!=` on `f64` is banned by `fedval-lint` (rule `float-eq`):
+//! coalition values, dividends, and blocking probabilities are produced by
+//! long chains of float arithmetic, so exact equality either works by
+//! accident or silently stops working when an upstream computation is
+//! reordered. These helpers make the tolerance explicit at every call
+//! site. They live in `fedval-simplex` — the dependency-free root of the
+//! workspace graph — and are re-exported from `fedval-core` for the
+//! higher crates.
+
+/// Default noise floor for "is this value exactly zero, up to float
+/// noise?" tests on O(1)-magnitude quantities (shares, probabilities,
+/// Harsanyi dividends). Chosen three orders of magnitude below the
+/// solver's [`EPSILON`](crate::EPSILON) so that skipping a `NOISE_EPS`-
+/// sized dividend can never flip a simplex-level decision.
+pub const NOISE_EPS: f64 = 1e-12;
+
+/// `true` when `x` is within `eps` of zero (absolute tolerance).
+///
+/// `is_zero(x, 0.0)` is an exact zero test spelled so the tolerance is
+/// visible; prefer [`NOISE_EPS`] for computed quantities.
+#[inline]
+#[must_use]
+pub fn is_zero(x: f64, eps: f64) -> bool {
+    x.abs() <= eps
+}
+
+/// `true` when `a` and `b` differ by at most `eps` (absolute tolerance).
+///
+/// Absolute — not relative — tolerance is the right default here because
+/// the workspace's quantities are either normalized shares in `[0, 1]` or
+/// coalition values on a known scale; callers comparing quantities of
+/// wildly different magnitudes should pick `eps` accordingly.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_zero_exact_and_tolerant() {
+        assert!(is_zero(0.0, 0.0));
+        assert!(is_zero(-0.0, 0.0));
+        assert!(!is_zero(1e-15, 0.0));
+        assert!(is_zero(1e-13, NOISE_EPS));
+        assert!(!is_zero(1e-11, NOISE_EPS));
+        assert!(is_zero(-1e-13, NOISE_EPS));
+    }
+
+    #[test]
+    fn approx_eq_is_symmetric_and_bounded() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, NOISE_EPS));
+        assert!(approx_eq(1.0 + 1e-13, 1.0, NOISE_EPS));
+        assert!(!approx_eq(1.0, 1.0 + 1e-9, NOISE_EPS));
+        assert!(approx_eq(0.1 + 0.2, 0.3, 1e-15));
+    }
+
+    #[test]
+    fn non_finite_inputs_never_compare_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(!approx_eq(f64::INFINITY, f64::INFINITY, 1.0));
+        assert!(!is_zero(f64::NAN, 1.0));
+    }
+}

@@ -38,10 +38,12 @@
 //! assert!((solution.x[0] - 4.0).abs() < 1e-9);
 //! ```
 
+pub mod approx;
 mod problem;
 mod solver;
 mod tableau;
 
+pub use approx::{approx_eq, is_zero, NOISE_EPS};
 pub use problem::{Constraint, LinearProgram, Objective, ProblemError, Relation};
 pub use solver::{Solution, Status};
 

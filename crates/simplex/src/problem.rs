@@ -174,6 +174,12 @@ impl LinearProgram {
     }
 
     /// Validates dimensions and finiteness of all inputs.
+    ///
+    /// # Errors
+    /// [`ProblemError::DimensionMismatch`] for a constraint row of the wrong
+    /// width, [`ProblemError::NonFiniteInput`] for NaN or infinite
+    /// coefficients, and [`ProblemError::VariableOutOfRange`] for a bad free-
+    /// variable index.
     pub fn validate(&self) -> Result<(), ProblemError> {
         if !self.objective.iter().all(|c| c.is_finite()) {
             return Err(ProblemError::NonFiniteInput);

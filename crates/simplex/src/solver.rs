@@ -37,6 +37,10 @@ impl LinearProgram {
     /// Returns `Err` only for malformed input (see
     /// [`LinearProgram::validate`]); infeasibility and unboundedness are
     /// reported through [`Solution::status`].
+    ///
+    /// # Errors
+    /// Only malformed input, via [`LinearProgram::validate`]; infeasibility
+    /// and unboundedness are values of [`Solution::status`], not errors.
     pub fn solve(&self) -> Result<Solution, ProblemError> {
         self.validate()?;
 
@@ -138,6 +142,8 @@ impl LinearProgram {
         // --- Phase 1: minimize the sum of artificials. ---
         if n_artificial > 0 {
             let mut cost = vec![0.0; n_cols];
+            // why: the artificial-column range (n + n_slack)..n_cols is the
+            // point; an iterator over a subslice would hide the offsets.
             #[allow(clippy::needless_range_loop)]
             for j in (n + n_slack)..n_cols {
                 cost[j] = 1.0;
@@ -183,6 +189,8 @@ impl LinearProgram {
             Objective::Maximize => -1.0,
         };
         let mut cost = vec![0.0; n_cols];
+        // why: only the first n of n_cols entries are structural; the
+        // explicit bound documents that slack/artificial costs stay zero.
         #[allow(clippy::needless_range_loop)]
         for j in 0..n {
             cost[j] = sign * self.objective[j];

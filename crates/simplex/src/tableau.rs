@@ -4,6 +4,7 @@
 //! form together with a cost row. Phase bookkeeping lives in
 //! [`crate::solver`]; this module only knows how to pivot.
 
+use crate::approx::is_zero;
 use crate::EPSILON;
 
 /// Outcome of running the simplex iteration loop on a tableau.
@@ -146,7 +147,9 @@ impl Tableau {
                 continue;
             }
             let factor = self.rows[r][col];
-            if factor != 0.0 {
+            // Exact-zero skip (eps = 0): eliminating with a zero factor is
+            // a no-op; any nonzero factor, however tiny, must eliminate.
+            if !is_zero(factor, 0.0) {
                 for j in 0..=self.n_cols {
                     let delta = factor * self.rows[row][j];
                     self.rows[r][j] -= delta;
@@ -155,7 +158,7 @@ impl Tableau {
             }
         }
         let factor = self.cost[col];
-        if factor != 0.0 {
+        if !is_zero(factor, 0.0) {
             for j in 0..self.n_cols {
                 self.cost[j] -= factor * self.rows[row][j];
             }

@@ -262,6 +262,8 @@ pub fn run_coalition(
 ) -> SimReport {
     match run_coalition_faulted(federation, coalition, workload, config, &FaultPlan::new()) {
         Ok(run) => run.report,
+        // lint: allow(no-panic-path) — documented `# Panics` convenience
+        // wrapper; fallible callers use run_coalition_faulted instead.
         Err(e) => panic!("run_coalition: {e}"),
     }
 }
@@ -276,6 +278,11 @@ pub fn run_coalition(
 /// node is usable only while no failure of either kind holds it down
 /// (overlapping repairs may shorten a churn downtime — the windows
 /// effectively union).
+///
+/// # Errors
+/// [`SimError::Schedule`] for unschedulable event times, the
+/// `Unknown*`/[`SimError::BadCredentialWindow`] variants for fault events
+/// referencing nonexistent targets or malformed outage windows.
 pub fn run_coalition_faulted(
     federation: &Federation,
     coalition: Coalition,
@@ -628,6 +635,8 @@ pub fn empirical_game(
 ) -> TableGame {
     match empirical_game_diagnosed(federation, workload, config, &FaultPlan::new()) {
         Ok(measured) => measured.game,
+        // lint: allow(no-panic-path) — documented `# Panics` convenience
+        // wrapper; fallible callers use empirical_game_diagnosed instead.
         Err(e) => panic!("empirical_game: {e}"),
     }
 }
@@ -653,6 +662,10 @@ pub struct MeasuredGame {
 /// in the returned [`GameDiagnostics`].
 ///
 /// Only a federation too large to enumerate is a hard error.
+///
+/// # Errors
+/// Only [`SimError::TooManyAuthorities`]: per-coalition failures degrade
+/// to recorded fallbacks rather than erroring.
 pub fn empirical_game_diagnosed(
     federation: &Federation,
     workload: &Workload,

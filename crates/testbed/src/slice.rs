@@ -131,6 +131,12 @@ impl SliceManager {
     /// (up to the class's `l̄`); the class's `r` units per chosen node.
     /// Fails without side effects if the diversity threshold cannot be
     /// met.
+    ///
+    /// # Errors
+    /// [`SliceError::BadCredential`] or [`SliceError::UnknownAuthority`] when
+    /// the credential fails verification, and
+    /// [`SliceError::InsufficientDiversity`] when too few distinct locations
+    /// have capacity to clear the class's threshold.
     pub fn create_slice(
         &mut self,
         owner: &Credential,
@@ -215,6 +221,9 @@ impl SliceManager {
     }
 
     /// Deletes a slice, releasing its slivers.
+    ///
+    /// # Errors
+    /// [`SliceError::NoSuchSlice`] when `id` is not a live slice.
     pub fn delete_slice(&mut self, id: u64) -> Result<(), SliceError> {
         let slice = self.slices.remove(&id).ok_or(SliceError::NoSuchSlice)?;
         for sliver in &slice.slivers {

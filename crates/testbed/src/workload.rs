@@ -127,7 +127,9 @@ impl Workload {
                 });
             }
         }
-        requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite times"));
+        // total_cmp: arrivals are cumulative sums of finite exponential
+        // gaps, but a total order keeps the sort panic-free regardless.
+        requests.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         requests
     }
 }

@@ -15,7 +15,7 @@ use fedval::{
     Coalition, Demand, ExperimentClass, FaultPlan, Federation, FederationScenario, Workload,
 };
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let federation = Federation::new(vec![
         synthetic_authority("PLC", 0, 5, 2, 3, 100),
         synthetic_authority("PLE", 5, 3, 2, 3, 60),
@@ -40,15 +40,17 @@ fn main() {
         .credential_outage(1, 200.0, 2.0) // PLE's credential exchange flakes
         .retry_policy(3, 1.5);
 
-    let measured = empirical_game_diagnosed(&federation, &workload, &config, &plan)
-        .expect("a 3-authority federation is measurable");
+    let measured = empirical_game_diagnosed(&federation, &workload, &config, &plan)?;
 
     println!("== measured coalition values under the fault plan ==");
     for c in Coalition::all(3) {
         if c.is_empty() {
             continue;
         }
-        let rec = measured.diagnostics.get(c).expect("every coalition logged");
+        let Some(rec) = measured.diagnostics.get(c) else {
+            println!("  v({c:?}) — no diagnostics recorded");
+            continue;
+        };
         println!(
             "  v({:?}) = {:>8.1}   faults injected: {}, credential retries: {}, source: {:?}",
             c,
@@ -72,4 +74,5 @@ fn main() {
     );
     let report = policy_report_measured(&scenario, measured.diagnostics.clone());
     println!("\n{}", report.render());
+    Ok(())
 }

@@ -50,11 +50,15 @@ fn main() {
     let levels: Vec<u32> = (0..=20).map(|k| k * 50).collect();
     for scheme in [SharingScheme::Shapley, SharingScheme::Proportional] {
         let curve = incentive_curve(&make, &demand, &scheme, 0, &levels);
+        let (Some(first), Some(last)) = (curve.first(), curve.last()) else {
+            println!("{:>13}: empty incentive curve", scheme.name());
+            continue;
+        };
         println!(
             "{:>13}: payoff(L1=0) = {:>9.0}, payoff(L1=1000) = {:>9.0}, sharpest step = {:>9.0}",
             scheme.name(),
-            curve.first().unwrap().payoff,
-            curve.last().unwrap().payoff,
+            first.payoff,
+            last.payoff,
             peak_marginal(&curve) * 50.0
         );
     }
@@ -67,10 +71,9 @@ fn main() {
     println!("== provision-game equilibrium (best-response dynamics) ==");
     let grid = vec![vec![50u32, 100, 200, 400]; 3];
     let make_facility = |i: usize, l: u32| -> Facility {
-        Facility::new(
-            format!("f{i}"),
-            LocationOffer::contiguous(i as u32 * 10_000, l, 1),
-        )
+        // lint: allow(lossy-cast) — i indexes the 3-facility grid above.
+        let base = i as u32 * 10_000;
+        Facility::new(format!("f{i}"), LocationOffer::contiguous(base, l, 1))
     };
     let eq_demand = Demand::one_experiment(ExperimentClass::simple("e", 0.0, 1.0));
     let cost = CostModel {

@@ -176,6 +176,8 @@ fn run() -> Result<(), String> {
         "report" => {
             print!("{}", policy_report(&scenario).render());
         }
+        // lint: allow(no-panic-path) — parse() rejects unknown commands before
+        // dispatch, so this arm is dead by construction.
         _ => unreachable!("validated in parse"),
     }
     Ok(())
