@@ -22,12 +22,21 @@ cargo test -q --workspace
 echo "== clippy panic-discipline (all crates, lib targets only)"
 for crate in fedval-simplex fedval-core fedval-coalition fedval-desim \
              fedval-testbed fedval-market fedval-policy fedval-bench \
-             fedval-lint; do
+             fedval-lint fedval-obs; do
     echo "--  $crate"
     cargo clippy -q -p "$crate" --lib --release -- \
         -D clippy::unwrap_used \
         -D clippy::expect_used
 done
+
+echo "== bench_pipeline --check (BENCH_pipeline.json deterministic section)"
+if ! cargo run -q -p fedval-bench --release --bin bench_pipeline -- --check; then
+    echo ""
+    echo "ci.sh: BENCH_pipeline.json is stale — a change shifted a deterministic"
+    echo "pipeline count (pivots, LP solves, cache ratio, simulation totals)."
+    echo "Regenerate with:  cargo run --release -p fedval-bench --bin bench_pipeline"
+    exit 1
+fi
 
 echo "== fedval-lint (workspace static analysis vs lint-baseline.toml)"
 if ! cargo run -q -p fedval-lint --release; then

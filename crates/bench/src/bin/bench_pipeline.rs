@@ -1,0 +1,236 @@
+//! End-to-end observed pipeline benchmark feeding `BENCH_pipeline.json`.
+//!
+//! Runs the paper's §4.1 worked example (scenario build → Shapley →
+//! nucleolus → policy report), a cached-Shapley pass for the coalition
+//! cache ratio, and a seeded demand simulation for the desim event rate —
+//! all under a [`RecordingSink`] — then writes the aggregate as JSON.
+//!
+//! ```text
+//! cargo run --release -p fedval-bench --bin bench_pipeline             # write
+//! cargo run --release -p fedval-bench --bin bench_pipeline -- --check  # verify
+//! ```
+//!
+//! The JSON has two sections. `"deterministic"` holds counts that must be
+//! byte-identical on every machine and every run (pivot counts, LP solves,
+//! cache ratios, seeded simulation totals); `"timing"` holds wall-clock
+//! measurements and derived rates, refreshed on each write. `--check`
+//! re-runs the pipeline and fails unless the committed file contains the
+//! regenerated deterministic section byte for byte — timing drift is fine,
+//! a logic change that shifts pivot or event counts is not.
+
+use fedval_coalition::{shapley, CachedGame, Coalition};
+use fedval_core::{paper_facilities, Demand, ExperimentClass, FederationScenario};
+use fedval_obs::{RecordingSink, RunReport};
+use fedval_policy::policy_report;
+use fedval_testbed::{run_coalition, synthetic_authority, Federation, SimConfig, Workload};
+use std::process::ExitCode;
+
+/// Location of the committed benchmark file, relative to this crate.
+fn bench_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json")
+}
+
+/// Runs every phase under the installed sink and returns the aggregate.
+fn run_pipeline() -> RunReport {
+    let recording = RecordingSink::new();
+    fedval_obs::install(std::sync::Arc::new(recording.clone()));
+
+    {
+        let _total = fedval_obs::span("bench.pipeline.total");
+
+        // §4.1 worked example: three facilities, one diversity-hungry
+        // experiment with threshold 500 — V(N) = 1300.
+        let scenario = {
+            let _phase = fedval_obs::span("bench.phase.scenario");
+            let s = FederationScenario::new(
+                paper_facilities([1, 1, 1]),
+                Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0)),
+            );
+            let _ = s.game(); // force the coalition table inside this phase
+            s
+        };
+        {
+            let _phase = fedval_obs::span("bench.phase.shapley");
+            let _ = scenario.shapley_shares();
+        }
+        {
+            let _phase = fedval_obs::span("bench.phase.nucleolus");
+            let _ = scenario.nucleolus_shares();
+        }
+        {
+            let _phase = fedval_obs::span("bench.phase.report");
+            let _ = policy_report(&scenario).render();
+        }
+        {
+            // Exact Shapley revisits each coalition once per player, so a
+            // cache in front of the table produces a deterministic
+            // hit/miss split — the ratio BENCH_pipeline.json tracks.
+            let _phase = fedval_obs::span("bench.phase.cached_shapley");
+            let cached = CachedGame::new(scenario.game().clone());
+            let _ = shapley(&cached);
+        }
+        {
+            // Seeded statistical-multiplexing run (the demand-simulation
+            // example's pooled case): drives the desim event counters.
+            let _phase = fedval_obs::span("bench.phase.demand_sim");
+            let federation = Federation::new(vec![
+                synthetic_authority("A", 0, 4, 2, 1, 50),
+                synthetic_authority("B", 4, 4, 2, 1, 50),
+            ]);
+            let class = ExperimentClass::simple("job", 0.0, 1.0).with_max_locations(1);
+            let workload = Workload::single(class, 6.0, 1.0);
+            let config = SimConfig {
+                horizon: 2000.0,
+                warmup: 200.0,
+                seed: 99,
+                churn: None,
+            };
+            let _ = run_coalition(&federation, Coalition::grand(2), &workload, &config);
+        }
+    }
+
+    fedval_obs::shutdown();
+    RunReport::from_records(&recording.records())
+}
+
+fn push_kv_u64(out: &mut String, key: &str, value: u64, last: bool) {
+    out.push_str(&format!(
+        "    \"{key}\": {value}{}\n",
+        if last { "" } else { "," }
+    ));
+}
+
+fn push_kv_f64(out: &mut String, key: &str, value: f64, last: bool) {
+    out.push_str(&format!(
+        "    \"{key}\": {value:.6}{}\n",
+        if last { "" } else { "," }
+    ));
+}
+
+/// The deterministic section: identical bytes on every run and machine.
+fn deterministic_section(report: &RunReport) -> String {
+    let mut out = String::from("  \"deterministic\": {\n");
+    let ratio = report.cache_ratio("coalition.cache").unwrap_or(0.0);
+    push_kv_f64(&mut out, "coalition.cache.hit_ratio", ratio, false);
+    push_kv_u64(
+        &mut out,
+        "coalition.cache.hits",
+        report.counter("coalition.cache.hits"),
+        false,
+    );
+    push_kv_u64(
+        &mut out,
+        "coalition.cache.misses",
+        report.counter("coalition.cache.misses"),
+        false,
+    );
+    let evals = report
+        .spans
+        .get("coalition.game.eval")
+        .map(|s| s.count)
+        .unwrap_or(0);
+    push_kv_u64(&mut out, "coalition.game.evals", evals, false);
+    for key in [
+        "coalition.nucleolus.lp_solves",
+        "coalition.nucleolus.stages",
+        "desim.engine.delivered",
+        "desim.engine.scheduled",
+        "simplex.solver.pivots",
+        "simplex.solver.solves",
+        "testbed.simulate.admitted",
+        "testbed.simulate.blocked",
+        "testbed.simulate.requests",
+    ] {
+        push_kv_u64(&mut out, key, report.counter(key), false);
+    }
+    push_kv_u64(
+        &mut out,
+        "testbed.simulate.runs",
+        report.counter("testbed.simulate.runs"),
+        true,
+    );
+    out.push_str("  }");
+    out
+}
+
+/// The timing section: wall-clock, refreshed on every write.
+fn timing_section(report: &RunReport) -> String {
+    let mut out = String::from("  \"timing\": {\n");
+    push_kv_u64(
+        &mut out,
+        "total_wall_ns",
+        report.span_total_ns("bench.pipeline.total"),
+        false,
+    );
+    for phase in [
+        "scenario",
+        "shapley",
+        "nucleolus",
+        "report",
+        "cached_shapley",
+        "demand_sim",
+    ] {
+        push_kv_u64(
+            &mut out,
+            &format!("phase.{phase}_wall_ns"),
+            report.span_total_ns(&format!("bench.phase.{phase}")),
+            false,
+        );
+    }
+    let events_per_sec = report
+        .rate_per_sec("desim.engine.delivered", "testbed.simulate.run")
+        .unwrap_or(0.0);
+    push_kv_f64(&mut out, "desim.events_per_sec", events_per_sec, true);
+    out.push_str("  }");
+    out
+}
+
+fn render_json(report: &RunReport) -> String {
+    format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation\",\n{},\n{}\n}}\n",
+        deterministic_section(report),
+        timing_section(report),
+    )
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let report = run_pipeline();
+    let path = bench_path();
+
+    if check {
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_pipeline --check: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let expected = deterministic_section(&report);
+        if existing.contains(&expected) {
+            println!("bench_pipeline --check: deterministic section matches");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bench_pipeline --check: deterministic section of {} is stale.\n\
+                 Regenerate with: cargo run --release -p fedval-bench --bin bench_pipeline\n\
+                 expected:\n{expected}",
+                path.display()
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        let json = render_json(&report);
+        match std::fs::write(&path, &json) {
+            Ok(()) => {
+                print!("{json}");
+                println!("wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_pipeline: cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

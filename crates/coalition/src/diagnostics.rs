@@ -32,6 +32,15 @@ impl ValueSource {
     pub fn is_fallback(self) -> bool {
         !matches!(self, ValueSource::Measured)
     }
+
+    /// Short machine-readable label for traces and observability events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueSource::Measured => "measured",
+            ValueSource::SubCoalitionFallback(_) => "sub_coalition_fallback",
+            ValueSource::ZeroFallback => "zero_fallback",
+        }
+    }
 }
 
 /// Per-coalition record of what happened while valuing it.
@@ -61,6 +70,32 @@ impl CoalitionDiagnostics {
             credential_retries: 0,
             error: None,
         }
+    }
+
+    /// Key → value pairs describing this record for an observability
+    /// event, so degraded-mode substitutions are visible in a JSONL trace
+    /// and not only in the returned struct.
+    pub fn obs_fields(&self) -> Vec<(String, String)> {
+        let mut fields = vec![
+            ("mask".to_string(), self.coalition.0.to_string()),
+            ("source".to_string(), self.source.label().to_string()),
+        ];
+        if let ValueSource::SubCoalitionFallback(t) = self.source {
+            fields.push(("fallback_mask".to_string(), t.0.to_string()));
+        }
+        if self.faults_injected > 0 {
+            fields.push(("faults_injected".to_string(), self.faults_injected.to_string()));
+        }
+        if self.credential_retries > 0 {
+            fields.push((
+                "credential_retries".to_string(),
+                self.credential_retries.to_string(),
+            ));
+        }
+        if let Some(why) = &self.error {
+            fields.push(("error".to_string(), why.clone()));
+        }
+        fields
     }
 }
 

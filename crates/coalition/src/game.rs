@@ -62,7 +62,16 @@ impl TableGame {
     /// lazily with [`CachedGame`] instead.
     pub fn from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> TableGame {
         assert!(n <= 25, "dense table limited to n ≤ 25 players");
-        let values = Coalition::all(n).map(f).collect();
+        let values = Coalition::all(n)
+            .map(|c| {
+                // One span per coalition evaluation: with the scenario
+                // characteristic function each of these is one LP solve,
+                // which is exactly the per-coalition cost the trace exists
+                // to expose.
+                let _eval = fedval_obs::span_with("coalition.game.eval", || format!("mask={}", c.0));
+                f(c)
+            })
+            .collect();
         TableGame { n, values }
     }
 
@@ -154,8 +163,10 @@ impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
 
     fn value(&self, coalition: Coalition) -> f64 {
         if let Some(&v) = self.cache.read().get(&coalition.0) {
+            fedval_obs::counter_add("coalition.cache.hits", 1);
             return v;
         }
+        fedval_obs::counter_add("coalition.cache.misses", 1);
         let v = self.inner.value(coalition);
         self.cache.write().insert(coalition.0, v);
         v

@@ -60,6 +60,7 @@ pub fn try_nucleolus<G: CoalitionalGame>(game: &G) -> Result<Vec<f64>, GameError
     if n == 1 {
         return Ok(vec![game.grand_value()]);
     }
+    let _span = fedval_obs::span_with("coalition.nucleolus.solve", || format!("n={n}"));
 
     let grand = Coalition::grand(n);
     let proper: Vec<Coalition> = Coalition::all(n)
@@ -71,6 +72,7 @@ pub fn try_nucleolus<G: CoalitionalGame>(game: &G) -> Result<Vec<f64>, GameError
     let mut active: Vec<Coalition> = proper.clone();
 
     loop {
+        fedval_obs::counter_add("coalition.nucleolus.stages", 1);
         let (eps, x) = solve_stage(game, n, &frozen, &active, None)?;
 
         // Which active coalitions are tight at *every* optimum? Coalition S
@@ -166,6 +168,7 @@ fn solve_stage<G: CoalitionalGame>(
         lp.add_constraint(row(Coalition::EMPTY, 1.0), Relation::Eq, eps_star);
     }
 
+    fedval_obs::counter_add("coalition.nucleolus.lp_solves", 1);
     let sol = lp.solve().map_err(|source| GameError::MalformedLp {
         context: "nucleolus stage",
         source,

@@ -36,6 +36,9 @@ pub fn shapley_player<G: CoalitionalGame>(game: &G, i: PlayerId) -> f64 {
 
 /// Exact Shapley values of all players (sequential).
 pub fn shapley<G: CoalitionalGame>(game: &G) -> Vec<f64> {
+    let _span = fedval_obs::span_with("coalition.shapley.exact", || {
+        format!("n={}", game.n_players())
+    });
     (0..game.n_players())
         .map(|i| shapley_player(game, i))
         .collect()
@@ -51,6 +54,9 @@ pub fn shapley<G: CoalitionalGame>(game: &G) -> Vec<f64> {
 pub fn shapley_parallel<G: CoalitionalGame>(game: &G, threads: usize) -> Vec<f64> {
     let n = game.n_players();
     let threads = threads.clamp(1, n.max(1));
+    let _span = fedval_obs::span_with("coalition.shapley.parallel", || {
+        format!("n={n} threads={threads}")
+    });
     let mut phi = vec![0.0; n];
     let outcome = crossbeam::thread::scope(|scope| {
         let chunks: Vec<&mut [f64]> = phi.chunks_mut(n.div_ceil(threads)).collect();
@@ -100,6 +106,9 @@ pub fn shapley_monte_carlo<G: CoalitionalGame>(
 ) -> MonteCarloShapley {
     let n = game.n_players();
     assert!(samples > 0, "need at least one sample");
+    let _span = fedval_obs::span_with("coalition.shapley.monte_carlo", || {
+        format!("n={n} samples={samples} seed={seed}")
+    });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<PlayerId> = (0..n).collect();
     let mut sum = vec![0.0; n];

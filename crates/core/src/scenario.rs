@@ -124,8 +124,12 @@ impl FederationScenario {
 
     /// The materialized coalition-value table.
     pub fn game(&self) -> &TableGame {
-        self.table
-            .get_or_init(|| FederationGame::new(&self.facilities, &self.demand).table())
+        self.table.get_or_init(|| {
+            let _span = fedval_obs::span_with("core.scenario.table_build", || {
+                format!("n={}", self.facilities.len())
+            });
+            FederationGame::new(&self.facilities, &self.demand).table()
+        })
     }
 
     /// `V(S)` for an explicit coalition.

@@ -196,6 +196,18 @@ impl<E> Simulator<E> {
     }
 }
 
+impl<E> Drop for Simulator<E> {
+    /// Reports calendar throughput to the observability layer once per
+    /// simulator lifetime — aggregated on drop rather than emitted per
+    /// event, so the hot event loop stays record-free.
+    fn drop(&mut self) {
+        if self.seq > 0 && fedval_obs::is_enabled() {
+            fedval_obs::counter_add("desim.engine.scheduled", self.seq);
+            fedval_obs::counter_add("desim.engine.delivered", self.processed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 //! The paper's "compute ϕ̂ᵢ off-line" policy loop is only trustworthy if
 //! every coalition value is reproducible and panic-free. Generic tooling
 //! cannot express those invariants, so this crate ships a lightweight
-//! Rust lexer ([`lexer`]) and six fedval-specific rules ([`rules`]):
+//! Rust lexer ([`lexer`]) and seven fedval-specific rules ([`rules`]):
 //!
 //! | rule | discipline |
 //! |------|------------|
@@ -15,6 +15,7 @@
 //! | `lossy-cast` | narrowing `as` casts need `try_from` or a marker |
 //! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in value-affecting crates |
 //! | `errors-doc` | `pub fn … -> Result` documents `# Errors` |
+//! | `println-in-lib` | no `print!`-family macros in lib code (bins/examples exempt) |
 //! | `allow-audit` | every suppression carries a justification |
 //!
 //! Findings are diffed against a committed [`baseline`]

@@ -17,12 +17,13 @@
 use crate::lexer::{test_mask, Tok, TokKind};
 
 /// Rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "no-panic-path",
     "float-eq",
     "lossy-cast",
     "nondeterministic-iteration",
     "errors-doc",
+    "println-in-lib",
     "allow-audit",
 ];
 
@@ -64,6 +65,7 @@ const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"
 const NARROW_CAST_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 const INT_CAST_TARGETS: [&str; 4] = ["usize", "u64", "i64", "isize"];
 const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
 const MIN_REASON_LEN: usize = 8;
 
 /// Lints one file's source text. `file` must be the workspace-relative
@@ -78,6 +80,7 @@ pub fn lint_file(source: &str, file: &str, krate: &str) -> Vec<Finding> {
     lossy_cast(&toks, file, krate, &mut findings);
     nondeterministic_iteration(&toks, file, krate, &mut findings);
     errors_doc(&toks, file, krate, &mut findings);
+    println_in_lib(&toks, file, krate, &mut findings);
     allow_audit(&toks, &markers, file, krate, &mut findings);
 
     // Apply justified markers: a finding is suppressed when a marker for
@@ -417,6 +420,46 @@ fn returns_result(toks: &[Tok], start: usize, end: usize) -> bool {
     false
 }
 
+/// Whether `file` is a place where printing to stdout/stderr is the
+/// program's actual job: binary entry points (`main.rs`, `src/bin/`) and
+/// examples. Integration tests and benches never reach the linter (the
+/// walker excludes those directories), and `#[cfg(test)]` code is exempt
+/// via the test mask.
+fn printing_allowed(file: &str) -> bool {
+    file.ends_with("main.rs") || file.contains("/bin/") || file.contains("examples/")
+}
+
+/// `println!`-family macros in library code. Libraries must report
+/// through return values or the `fedval-obs` layer — writing to stdout
+/// from a lib corrupts machine-read output (CSV, JSONL traces) and
+/// cannot be silenced by callers.
+fn println_in_lib(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    if printing_allowed(file) {
+        return;
+    }
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if t.kind != TokKind::Ident || !PRINT_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if lx.code.get(ci + 1).is_some_and(|&i| lx.tokens[i].is_punct("!")) {
+            out.push(finding(
+                "println-in-lib",
+                file,
+                krate,
+                t.line,
+                format!(
+                    "{}! in library code — report through return values or a fedval-obs sink, not stdout",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 /// Collects `// lint: allow(rule) — reason` markers.
 fn collect_markers(toks: &[Tok]) -> Vec<Marker> {
     let mut markers = Vec::new();
@@ -629,6 +672,35 @@ mod tests {
     fn result_in_argument_position_is_not_a_result_return() {
         let src = "pub fn f(r: Result<u32, E>) -> u32 { 0 }";
         assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn println_flagged_in_lib_code_only() {
+        let src = "fn f() { println!(\"x\"); }\nfn g() { eprintln!(\"y\"); dbg!(3); }";
+        assert_eq!(
+            rules_of(src, "core"),
+            vec![
+                ("println-in-lib", 1),
+                ("println-in-lib", 2),
+                ("println-in-lib", 2)
+            ]
+        );
+        // Entry points and examples print by design.
+        assert!(lint_file(src, "src/main.rs", "fedval").is_empty());
+        assert!(lint_file(src, "crates/bench/src/bin/repro.rs", "bench").is_empty());
+        assert!(lint_file(src, "examples/quickstart.rs", "fedval").is_empty());
+        // Test code may print freely.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { println!(\"dbg\"); } }";
+        assert!(rules_of(in_test, "core").is_empty());
+    }
+
+    #[test]
+    fn println_ident_without_bang_not_flagged() {
+        let src = "fn f() { let println = 3; let _ = println; }";
+        assert!(rules_of(src, "core").is_empty());
+        let justified =
+            "fn f() {\n    // lint: allow(println-in-lib) — progress line wanted by operators\n    println!(\"x\");\n}";
+        assert!(rules_of(justified, "core").is_empty());
     }
 
     #[test]

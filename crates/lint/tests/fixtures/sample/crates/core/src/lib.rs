@@ -32,6 +32,10 @@ pub fn parse_level(s: &str) -> Result<f64, String> {
 #[allow(dead_code)]
 fn unjustified() {}
 
+pub fn narrate(r: &Registry) {
+    println!("registry holds {} entries", r.entries.len());
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,165 @@
+//! Fixed-bucket latency histograms.
+//!
+//! [`Record::Observe`](crate::Record::Observe) values are aggregated into
+//! a fixed decade ladder from 1 µs to 10 s plus an overflow bucket. Fixed
+//! boundaries keep aggregation allocation-free and — more importantly —
+//! make bucket counts *comparable across runs and machines*: two traces
+//! of the same workload bucket identically unless the latencies really
+//! moved a decade.
+
+/// Upper bounds (inclusive) of the finite buckets, in nanoseconds:
+/// 1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s.
+pub const BUCKET_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Total bucket count: the finite ladder plus one overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// Human-readable labels for each bucket, aligned with
+/// [`bucket_index`]: `labels()[bucket_index(v)]` describes `v`'s bucket.
+pub fn bucket_labels() -> [&'static str; BUCKET_COUNT] {
+    [
+        "<=1us", "<=10us", "<=100us", "<=1ms", "<=10ms", "<=100ms", "<=1s", "<=10s", ">10s",
+    ]
+}
+
+/// Maps an observed duration to its bucket index.
+///
+/// Bounds are inclusive: exactly 1 000 ns lands in the `<=1us` bucket.
+/// Values above 10 s land in the final overflow bucket.
+pub fn bucket_index(value_ns: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&bound| value_ns <= bound)
+        .unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+/// Aggregated view of one named observation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket counts, indexed per [`bucket_index`].
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values, ns.
+    pub sum_ns: u64,
+    /// Smallest observation, ns (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation, ns (0 when empty).
+    pub max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into the histogram.
+    pub fn observe(&mut self, value_ns: u64) {
+        self.buckets[bucket_index(value_ns)] += 1;
+        if self.count == 0 || value_ns < self.min_ns {
+            self.min_ns = value_ns;
+        }
+        if value_ns > self.max_ns {
+            self.max_ns = value_ns;
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(value_ns);
+    }
+
+    /// Mean observation in nanoseconds, or 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// One-line textual rendering of the non-empty buckets, e.g.
+    /// `"<=10us:3 <=100us:1"`. Empty histogram renders as `"(empty)"`.
+    pub fn render_buckets(&self) -> String {
+        if self.count == 0 {
+            return "(empty)".to_string();
+        }
+        let labels = bucket_labels();
+        let mut parts = Vec::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                parts.push(format!("{}:{}", labels[i], n));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_inclusive() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(999), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(10_000), 1);
+        assert_eq!(bucket_index(10_001), 2);
+        assert_eq!(bucket_index(1_000_000), 3);
+        assert_eq!(bucket_index(10_000_000_000), 7);
+        assert_eq!(bucket_index(10_000_000_001), 8);
+        assert_eq!(bucket_index(u64::MAX), 8);
+    }
+
+    #[test]
+    fn labels_align_with_indices() {
+        let labels = bucket_labels();
+        assert_eq!(labels.len(), BUCKET_COUNT);
+        assert_eq!(labels[bucket_index(500)], "<=1us");
+        assert_eq!(labels[bucket_index(50_000)], "<=100us");
+        assert_eq!(labels[bucket_index(u64::MAX)], ">10s");
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max_mean() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean_ns(), 0);
+        h.observe(100);
+        h.observe(300);
+        h.observe(2_000);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_ns, 2_400);
+        assert_eq!(h.min_ns, 100);
+        assert_eq!(h.max_ns, 2_000);
+        assert_eq!(h.mean_ns(), 800);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+    }
+
+    #[test]
+    fn render_skips_empty_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.render_buckets(), "(empty)");
+        h.observe(5_000);
+        h.observe(5_500);
+        h.observe(200_000);
+        assert_eq!(h.render_buckets(), "<=10us:2 <=1ms:1");
+    }
+}

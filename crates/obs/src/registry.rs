@@ -1,0 +1,299 @@
+//! Process-global observability registry.
+//!
+//! Instrumentation sites call free functions ([`counter_add`], [`span`],
+//! [`event`], …) that consult a single global state: an enabled flag and
+//! an installed [`Sink`]. With nothing installed (the default) every
+//! entry point reduces to one relaxed atomic load and an immediate
+//! return — no allocation, no locking, no time query — which is what
+//! lets hot loops (simplex pivots, desim event dispatch) stay
+//! instrumented permanently.
+//!
+//! Span nesting is tracked per thread: a [`SpanGuard`] pushes its id on a
+//! thread-local stack at creation and pops it on drop, so `parent` links
+//! in the trace reflect lexical nesting on each thread. Guard drop is
+//! unwind-safe — a panic inside a span still emits the `SpanEnd` and
+//! never double-panics, so a poisoned computation cannot poison the
+//! registry.
+
+use crate::record::Record;
+use crate::sink::Sink;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Fast-path switch: true iff a sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink, if any.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Next span id; ids are process-unique and monotonically increasing.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonic time origin, set on first use so `t_ns` values are small.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Nanoseconds since the process-wide monotonic origin.
+///
+/// The origin is pinned by the first observability action in the
+/// process, so early records start near zero.
+pub fn now_ns() -> u64 {
+    let origin = ORIGIN.get_or_init(Instant::now);
+    // Truncation is unreachable in practice: u64 nanoseconds cover ~584
+    // years of process uptime.
+    origin.elapsed().as_nanos() as u64
+}
+
+/// True iff a sink is installed and records are being collected.
+///
+/// Use to guard instrumentation whose *inputs* are expensive to gather
+/// (string formatting, sums over vectors); the emitting functions
+/// already check internally.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global record destination and enables
+/// collection. Replaces (and flushes) any previously installed sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    let previous = {
+        let mut slot = write_sink();
+        slot.replace(sink)
+    };
+    ENABLED.store(true, Ordering::SeqCst);
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+}
+
+/// Disables collection, flushes, and removes the installed sink.
+///
+/// Returns `true` if a sink was installed. Span guards still open keep
+/// working — their `Drop` just finds collection disabled and emits
+/// nothing.
+pub fn shutdown() -> bool {
+    ENABLED.store(false, Ordering::SeqCst);
+    let previous = {
+        let mut slot = write_sink();
+        slot.take()
+    };
+    match previous {
+        Some(sink) => {
+            sink.flush();
+            true
+        }
+        None => false,
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(sink) = current_sink() {
+        sink.flush();
+    }
+}
+
+fn write_sink() -> std::sync::RwLockWriteGuard<'static, Option<Arc<dyn Sink>>> {
+    match SINK.write() {
+        Ok(g) => g,
+        // The slot only ever holds an Arc swap — a poisoned lock still
+        // holds coherent data, so recover rather than propagate.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn current_sink() -> Option<Arc<dyn Sink>> {
+    if !is_enabled() {
+        return None;
+    }
+    let guard = match SINK.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.clone()
+}
+
+fn emit(r: Record) {
+    if let Some(sink) = current_sink() {
+        sink.record(&r);
+    }
+}
+
+/// Adds `delta` to the named monotonic counter.
+///
+/// Names are `&'static str` by convention (`crate.subsystem.name`); the
+/// cost when disabled is one atomic load.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    emit(Record::Counter {
+        name: name.to_string(),
+        delta,
+    });
+}
+
+/// Sets the named gauge to `value`.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Record::Gauge {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Records one latency observation (nanoseconds) under `name`.
+#[inline]
+pub fn observe_ns(name: &'static str, value_ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Record::Observe {
+        name: name.to_string(),
+        value_ns,
+    });
+}
+
+/// Emits a structured event. `fields` is only invoked when collection is
+/// enabled, so building the key/value vector costs nothing by default.
+#[inline]
+pub fn event<F>(name: &'static str, fields: F)
+where
+    F: FnOnce() -> Vec<(String, String)>,
+{
+    if !is_enabled() {
+        return;
+    }
+    emit(Record::Event {
+        name: name.to_string(),
+        fields: fields(),
+    });
+}
+
+/// Opens a span named `name`; the span closes when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_inner(name, None)
+}
+
+/// Opens a span with a lazily-built detail string (e.g. a coalition
+/// mask). `detail` is only invoked when collection is enabled.
+#[inline]
+pub fn span_with<F>(name: &'static str, detail: F) -> SpanGuard
+where
+    F: FnOnce() -> String,
+{
+    if !is_enabled() {
+        return SpanGuard { inner: None };
+    }
+    span_inner(name, Some(detail()))
+}
+
+fn span_inner(name: &'static str, detail: Option<String>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let t_ns = now_ns();
+    let parent = SPAN_STACK.with(|stack| {
+        // try_borrow_mut: a sink that itself opens spans (none do today)
+        // must degrade to a parentless span rather than panic.
+        match stack.try_borrow_mut() {
+            Ok(mut s) => {
+                let parent = s.last().copied();
+                s.push(id);
+                parent
+            }
+            Err(_) => None,
+        }
+    });
+    emit(Record::SpanStart {
+        id,
+        parent,
+        name: name.to_string(),
+        detail,
+        t_ns,
+    });
+    SpanGuard {
+        inner: Some(SpanInner {
+            id,
+            name,
+            start_ns: t_ns,
+        }),
+    }
+}
+
+struct SpanInner {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// RAII guard for an open span; emits `SpanEnd` on drop.
+///
+/// Dropping is unwind-safe: it never panics, even during a panic inside
+/// the span, and it removes exactly its own id from the thread-local
+/// nesting stack (by value, not by position) so an out-of-order drop
+/// cannot corrupt sibling spans.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// True if this guard corresponds to a live (recorded) span.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            if let Ok(mut s) = stack.try_borrow_mut() {
+                if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+                    s.remove(pos);
+                }
+            }
+        });
+        if !is_enabled() {
+            // Sink was shut down while the span was open: nesting state
+            // is cleaned up above, but there is nowhere to report to.
+            return;
+        }
+        let t_ns = now_ns();
+        emit(Record::SpanEnd {
+            id: inner.id,
+            name: inner.name.to_string(),
+            t_ns,
+            dur_ns: t_ns.saturating_sub(inner.start_ns),
+        });
+    }
+}
+
+/// Times `f` and records its duration as an [`Record::Observe`] under
+/// `name`. When disabled this is exactly `f()` plus one atomic load.
+#[inline]
+pub fn time_ns<T, F: FnOnce() -> T>(name: &'static str, f: F) -> T {
+    if !is_enabled() {
+        return f();
+    }
+    let start = now_ns();
+    let out = f();
+    observe_ns(name, now_ns().saturating_sub(start));
+    out
+}

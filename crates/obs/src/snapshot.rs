@@ -1,0 +1,198 @@
+//! Deterministic metric snapshots.
+//!
+//! A [`MetricsSnapshot`] folds a record stream down to the parts that
+//! are reproducible across runs of a seeded workload: counter totals,
+//! final gauge values, span/observation *counts* (never durations), and
+//! event occurrences. Two identical seeded runs must produce
+//! byte-identical [`MetricsSnapshot::to_text`] output — that invariant
+//! is pinned by the workspace's `obs_determinism` guard test and is what
+//! the resume/replay story leans on.
+
+use crate::record::{json_f64, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Timing-free aggregate of a record stream.
+///
+/// All maps are `BTreeMap` so iteration (and therefore rendering) is
+/// ordered and stable regardless of emission interleaving across
+/// threads... with one caveat: event *field* payloads are kept in
+/// emission order per name, so multi-threaded event emission with
+/// distinct payloads under one name is only snapshot-stable if the
+/// emission order is itself deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → summed deltas.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last recorded value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Span name → number of completed spans (SpanEnd records).
+    pub span_counts: BTreeMap<String, u64>,
+    /// Observation name → number of observations (values excluded:
+    /// latencies are timing).
+    pub observe_counts: BTreeMap<String, u64>,
+    /// Event name → rendered field payloads, in emission order.
+    pub events: BTreeMap<String, Vec<String>>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from a captured record stream.
+    pub fn from_records(records: &[Record]) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for r in records {
+            match r {
+                Record::SpanStart { .. } => {}
+                Record::SpanEnd { name, .. } => {
+                    *snap.span_counts.entry(name.clone()).or_insert(0) += 1;
+                }
+                Record::Counter { name, delta } => {
+                    *snap.counters.entry(name.clone()).or_insert(0) += delta;
+                }
+                Record::Gauge { name, value } => {
+                    snap.gauges.insert(name.clone(), *value);
+                }
+                Record::Observe { name, .. } => {
+                    *snap.observe_counts.entry(name.clone()).or_insert(0) += 1;
+                }
+                Record::Event { name, fields } => {
+                    let mut payload = String::new();
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            payload.push(' ');
+                        }
+                        let _ = write!(payload, "{k}={v}");
+                    }
+                    snap.events.entry(name.clone()).or_default().push(payload);
+                }
+            }
+        }
+        snap
+    }
+
+    /// Counter value, defaulting to 0 when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Completed-span count for `name`, defaulting to 0.
+    pub fn spans(&self, name: &str) -> u64 {
+        self.span_counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as stable, diff-friendly text.
+    ///
+    /// The format is the determinism contract: identical seeded runs
+    /// must produce byte-identical output.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# metrics snapshot (timing excluded)\n");
+        out.push_str("[counters]\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} = {value}");
+        }
+        out.push_str("[gauges]\n");
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name} = {}", json_f64(*value));
+        }
+        out.push_str("[spans]\n");
+        for (name, count) in &self.span_counts {
+            let _ = writeln!(out, "{name} = {count}");
+        }
+        out.push_str("[observations]\n");
+        for (name, count) in &self.observe_counts {
+            let _ = writeln!(out, "{name} = {count}");
+        }
+        out.push_str("[events]\n");
+        for (name, payloads) in &self.events {
+            let _ = writeln!(out, "{name} = {}", payloads.len());
+            for p in payloads {
+                let _ = writeln!(out, "  {p}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::SpanStart {
+                id: 1,
+                parent: None,
+                name: "a.b.run".into(),
+                detail: None,
+                t_ns: 5,
+            },
+            Record::Counter {
+                name: "a.b.items".into(),
+                delta: 3,
+            },
+            Record::Counter {
+                name: "a.b.items".into(),
+                delta: 2,
+            },
+            Record::Gauge {
+                name: "a.b.load".into(),
+                value: 0.5,
+            },
+            Record::Gauge {
+                name: "a.b.load".into(),
+                value: 0.75,
+            },
+            Record::Observe {
+                name: "a.b.lat_ns".into(),
+                value_ns: 123_456,
+            },
+            Record::Event {
+                name: "a.b.fault".into(),
+                fields: vec![("kind".into(), "crash".into()), ("site".into(), "2".into())],
+            },
+            Record::SpanEnd {
+                id: 1,
+                name: "a.b.run".into(),
+                t_ns: 999,
+                dur_ns: 994,
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_aggregates_and_drops_timing() {
+        let snap = MetricsSnapshot::from_records(&sample_records());
+        assert_eq!(snap.counter("a.b.items"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges["a.b.load"], 0.75);
+        assert_eq!(snap.spans("a.b.run"), 1);
+        assert_eq!(snap.observe_counts["a.b.lat_ns"], 1);
+        assert_eq!(snap.events["a.b.fault"], vec!["kind=crash site=2"]);
+        let text = snap.to_text();
+        assert!(!text.contains("123456"), "latency value leaked: {text}");
+        assert!(!text.contains("994"), "duration leaked: {text}");
+    }
+
+    #[test]
+    fn text_rendering_is_ordered_and_stable() {
+        let records = sample_records();
+        let a = MetricsSnapshot::from_records(&records).to_text();
+        let b = MetricsSnapshot::from_records(&records).to_text();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "# metrics snapshot (timing excluded)\n\
+             [counters]\n\
+             a.b.items = 5\n\
+             [gauges]\n\
+             a.b.load = 0.75\n\
+             [spans]\n\
+             a.b.run = 1\n\
+             [observations]\n\
+             a.b.lat_ns = 1\n\
+             [events]\n\
+             a.b.fault = 1\n\
+             \x20 kind=crash site=2\n"
+        );
+    }
+}

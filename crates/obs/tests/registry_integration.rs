@@ -1,0 +1,154 @@
+//! Integration tests for the global registry: span nesting, unwind
+//! safety, and the disabled fast path.
+//!
+//! The registry is process-global, so every scenario runs inside ONE
+//! test function (integration tests may run in parallel threads; a
+//! shared registry would interleave records across tests otherwise).
+//! Each scenario installs a fresh `RecordingSink` and shuts down before
+//! the next.
+
+use fedval_obs::{MetricsSnapshot, Record, RecordingSink, SpanGuard};
+use std::sync::Arc;
+
+fn with_fresh_sink<F: FnOnce()>(f: F) -> Vec<Record> {
+    let sink = RecordingSink::new();
+    fedval_obs::install(Arc::new(sink.clone()));
+    f();
+    fedval_obs::shutdown();
+    sink.records()
+}
+
+#[test]
+fn registry_scenarios() {
+    nesting_links_parents();
+    panic_inside_span_still_closes_it_and_does_not_poison();
+    disabled_paths_emit_nothing();
+    lazy_closures_not_invoked_when_disabled();
+    spans_open_across_shutdown_are_harmless();
+    threads_get_independent_span_stacks();
+}
+
+fn nesting_links_parents() {
+    let records = with_fresh_sink(|| {
+        let _outer = fedval_obs::span("t.nest.outer");
+        let _inner = fedval_obs::span_with("t.nest.inner", || "detail".to_string());
+        fedval_obs::counter_add("t.nest.count", 1);
+    });
+    let starts: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::SpanStart { .. }))
+        .collect();
+    assert_eq!(starts.len(), 2);
+    let (outer_id, outer_parent) = match starts[0] {
+        Record::SpanStart { id, parent, .. } => (*id, *parent),
+        _ => unreachable!(),
+    };
+    assert_eq!(outer_parent, None);
+    match starts[1] {
+        Record::SpanStart {
+            parent, detail, ..
+        } => {
+            assert_eq!(*parent, Some(outer_id), "inner span must link to outer");
+            assert_eq!(detail.as_deref(), Some("detail"));
+        }
+        _ => unreachable!(),
+    }
+    // Inner closes before outer (LIFO drop order).
+    let ends: Vec<&str> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::SpanEnd { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ends, vec!["t.nest.inner", "t.nest.outer"]);
+}
+
+fn panic_inside_span_still_closes_it_and_does_not_poison() {
+    let records = with_fresh_sink(|| {
+        let result = std::panic::catch_unwind(|| {
+            let _span = fedval_obs::span("t.panic.victim");
+            panic!("boom inside span");
+        });
+        assert!(result.is_err());
+        // The registry must keep working after the unwind: new spans
+        // nest correctly (parent = None — the stack was cleaned up).
+        let _after = fedval_obs::span("t.panic.after");
+        fedval_obs::counter_add("t.panic.survived", 1);
+    });
+    let snap = MetricsSnapshot::from_records(&records);
+    assert_eq!(snap.spans("t.panic.victim"), 1, "span must close on unwind");
+    assert_eq!(snap.spans("t.panic.after"), 1);
+    assert_eq!(snap.counter("t.panic.survived"), 1);
+    for r in &records {
+        if let Record::SpanStart { name, parent, .. } = r {
+            if name == "t.panic.after" {
+                assert_eq!(
+                    *parent, None,
+                    "unwound span must be removed from the nesting stack"
+                );
+            }
+        }
+    }
+}
+
+fn disabled_paths_emit_nothing() {
+    assert!(!fedval_obs::is_enabled());
+    let sink = RecordingSink::new();
+    {
+        let guard = fedval_obs::span("t.disabled.span");
+        assert!(!guard.is_recording());
+        fedval_obs::counter_add("t.disabled.count", 5);
+        fedval_obs::gauge_set("t.disabled.gauge", 1.0);
+        fedval_obs::observe_ns("t.disabled.obs_ns", 10);
+    }
+    assert!(sink.is_empty());
+}
+
+fn lazy_closures_not_invoked_when_disabled() {
+    assert!(!fedval_obs::is_enabled());
+    let _g: SpanGuard = fedval_obs::span_with("t.lazy.span", || {
+        panic!("detail closure must not run when disabled")
+    });
+    fedval_obs::event("t.lazy.event", || {
+        panic!("fields closure must not run when disabled")
+    });
+    let out = fedval_obs::time_ns("t.lazy.timed_ns", || 42);
+    assert_eq!(out, 42);
+}
+
+fn spans_open_across_shutdown_are_harmless() {
+    let sink = RecordingSink::new();
+    fedval_obs::install(Arc::new(sink.clone()));
+    let guard = fedval_obs::span("t.shutdown.orphan");
+    assert!(guard.is_recording());
+    fedval_obs::shutdown();
+    drop(guard); // must not panic, must not emit
+    let snap = MetricsSnapshot::from_records(&sink.records());
+    assert_eq!(snap.spans("t.shutdown.orphan"), 0);
+    // And a fresh install still works afterwards.
+    let records = with_fresh_sink(|| {
+        let _s = fedval_obs::span("t.shutdown.fresh");
+    });
+    assert_eq!(MetricsSnapshot::from_records(&records).spans("t.shutdown.fresh"), 1);
+}
+
+fn threads_get_independent_span_stacks() {
+    let records = with_fresh_sink(|| {
+        let _main_span = fedval_obs::span("t.threads.main");
+        let handle = std::thread::spawn(|| {
+            let _worker = fedval_obs::span("t.threads.worker");
+        });
+        handle.join().expect("worker thread panicked");
+    });
+    for r in &records {
+        if let Record::SpanStart { name, parent, .. } = r {
+            if name == "t.threads.worker" {
+                assert_eq!(
+                    *parent, None,
+                    "spans on other threads must not inherit this thread's stack"
+                );
+            }
+        }
+    }
+}

@@ -27,13 +27,21 @@ pub struct PolicyReport {
 
 /// Builds the report for all built-in schemes.
 pub fn policy_report(scenario: &FederationScenario) -> PolicyReport {
-    let props = scenario.properties();
+    let _report_span = fedval_obs::span("policy.report.build");
+    let (props, core_nonempty) = {
+        let _span = fedval_obs::span("policy.report.properties");
+        (scenario.properties(), scenario.core_nonempty())
+    };
+    let assessments = {
+        let _span = fedval_obs::span("policy.report.schemes");
+        compare_schemes(scenario, &SharingScheme::all_builtin())
+    };
     PolicyReport {
         grand_value: scenario.grand_value(),
-        core_nonempty: scenario.core_nonempty(),
+        core_nonempty,
         superadditive: props.superadditive,
         convex: props.convex,
-        assessments: compare_schemes(scenario, &SharingScheme::all_builtin()),
+        assessments,
         measurement: None,
     }
 }

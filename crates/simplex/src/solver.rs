@@ -42,6 +42,29 @@ impl LinearProgram {
     /// Only malformed input, via [`LinearProgram::validate`]; infeasibility
     /// and unboundedness are values of [`Solution::status`], not errors.
     pub fn solve(&self) -> Result<Solution, ProblemError> {
+        if !fedval_obs::is_enabled() {
+            return self.solve_counted().map(|(s, _)| s);
+        }
+        let start = fedval_obs::now_ns();
+        let result = self.solve_counted();
+        let dur_ns = fedval_obs::now_ns().saturating_sub(start);
+        if let Ok((solution, pivots)) = &result {
+            fedval_obs::counter_add("simplex.solver.solves", 1);
+            fedval_obs::counter_add("simplex.solver.pivots", *pivots as u64);
+            match solution.status {
+                Status::Optimal => {}
+                Status::Infeasible => fedval_obs::counter_add("simplex.solver.infeasible", 1),
+                Status::Unbounded => fedval_obs::counter_add("simplex.solver.unbounded", 1),
+                Status::Stalled => fedval_obs::counter_add("simplex.solver.stalls", 1),
+            }
+            fedval_obs::observe_ns("simplex.solver.solve_ns", dur_ns);
+        }
+        result.map(|(s, _)| s)
+    }
+
+    /// The actual two-phase solve, additionally reporting the total number
+    /// of pivots performed (phase 1 + drive-out + phase 2).
+    fn solve_counted(&self) -> Result<(Solution, usize), ProblemError> {
         self.validate()?;
 
         let n = self.n_vars;
@@ -139,6 +162,8 @@ impl LinearProgram {
             x: vec![0.0; n],
         };
 
+        let mut phase1_pivots = 0usize;
+
         // --- Phase 1: minimize the sum of artificials. ---
         if n_artificial > 0 {
             let mut cost = vec![0.0; n_cols];
@@ -157,16 +182,19 @@ impl LinearProgram {
                 // the arithmetic went numerically bad. Surface that as a
                 // stalled solve instead of trusting the tableau.
                 PivotOutcome::Unbounded | PivotOutcome::Stalled => {
-                    return Ok(stalled(n));
+                    return Ok((stalled(n), t.pivots));
                 }
             }
             // cost_rhs holds −(Σ artificials); feasible iff ~0.
             if t.cost_rhs < -EPSILON {
-                return Ok(Solution {
-                    status: Status::Infeasible,
-                    objective: 0.0,
-                    x: vec![0.0; n],
-                });
+                return Ok((
+                    Solution {
+                        status: Status::Infeasible,
+                        objective: 0.0,
+                        x: vec![0.0; n],
+                    },
+                    t.pivots,
+                ));
             }
             // Drive any artificial still basic (at value 0) out of the basis
             // by pivoting on some nonzero non-artificial entry in its row. A
@@ -179,6 +207,7 @@ impl LinearProgram {
                     }
                 }
             }
+            phase1_pivots = t.pivots;
             rows = t.rows;
             basis = t.basis;
         }
@@ -198,23 +227,26 @@ impl LinearProgram {
         let mut t = Tableau::new(rows, cost, basis, n_cols);
         t.price_out_basis();
         let structural_limit = n + n_slack;
-        match t.run(&|j| j < structural_limit, max_iters) {
+        let outcome = t.run(&|j| j < structural_limit, max_iters);
+        let total_pivots = phase1_pivots + t.pivots;
+        let solution = match outcome {
             PivotOutcome::Optimal => {
                 let x: Vec<f64> = (0..n).map(|j| t.value_of(j)).collect();
                 let objective = self.objective_value(&x);
-                Ok(Solution {
+                Solution {
                     status: Status::Optimal,
                     objective,
                     x,
-                })
+                }
             }
-            PivotOutcome::Unbounded => Ok(Solution {
+            PivotOutcome::Unbounded => Solution {
                 status: Status::Unbounded,
                 objective: 0.0,
                 x: vec![0.0; n],
-            }),
-            PivotOutcome::Stalled => Ok(stalled(n)),
-        }
+            },
+            PivotOutcome::Stalled => stalled(n),
+        };
+        Ok((solution, total_pivots))
     }
 }
 

@@ -37,6 +37,8 @@ pub(crate) struct Tableau {
     pub basis: Vec<usize>,
     /// Total number of structural + slack + artificial columns.
     pub n_cols: usize,
+    /// Pivots performed on this tableau (for observability counters).
+    pub pivots: usize,
 }
 
 impl Tableau {
@@ -50,6 +52,7 @@ impl Tableau {
             cost_rhs: 0.0,
             basis,
             n_cols,
+            pivots: 0,
         }
     }
 
@@ -133,6 +136,7 @@ impl Tableau {
     /// Pivots on `(row, col)`: normalizes the row and eliminates the column
     /// from every other row and the cost row.
     pub fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let pivot_val = self.rows[row][col];
         debug_assert!(pivot_val.abs() > EPSILON, "pivot on ~zero element");
         let inv = 1.0 / pivot_val;

@@ -63,6 +63,63 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// Short machine-readable kind label (`node_crash`, `site_outage`, …)
+    /// used in observability events and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::NodeCrash { .. } => "node_crash",
+            Fault::SiteOutage { .. } => "site_outage",
+            Fault::AuthorityDeparture { .. } => "authority_departure",
+            Fault::CredentialOutage { .. } => "credential_outage",
+        }
+    }
+
+    /// Key → value pairs describing the fault for an observability event
+    /// (kind, target, time, and recovery info where applicable).
+    pub fn obs_fields(&self) -> Vec<(String, String)> {
+        let mut fields = vec![("kind".to_string(), self.kind().to_string())];
+        match *self {
+            Fault::NodeCrash {
+                node,
+                at,
+                repair_after,
+            } => {
+                fields.push(("node".to_string(), node.to_string()));
+                fields.push(("at".to_string(), at.to_string()));
+                if let Some(d) = repair_after {
+                    fields.push(("repair_after".to_string(), d.to_string()));
+                }
+            }
+            Fault::SiteOutage {
+                authority,
+                site,
+                at,
+                duration,
+            } => {
+                fields.push(("authority".to_string(), authority.to_string()));
+                fields.push(("site".to_string(), site.to_string()));
+                fields.push(("at".to_string(), at.to_string()));
+                fields.push(("duration".to_string(), duration.to_string()));
+            }
+            Fault::AuthorityDeparture { authority, at } => {
+                fields.push(("authority".to_string(), authority.to_string()));
+                fields.push(("at".to_string(), at.to_string()));
+            }
+            Fault::CredentialOutage {
+                authority,
+                at,
+                duration,
+            } => {
+                fields.push(("authority".to_string(), authority.to_string()));
+                fields.push(("at".to_string(), at.to_string()));
+                fields.push(("duration".to_string(), duration.to_string()));
+            }
+        }
+        fields
+    }
+}
+
 /// Retry/backoff policy for credential exchange during an outage.
 ///
 /// Attempt 0 is the initial exchange at arrival time; retry `k ≥ 1` is

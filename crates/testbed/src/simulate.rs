@@ -290,6 +290,12 @@ pub fn run_coalition_faulted(
     config: &SimConfig,
     plan: &FaultPlan,
 ) -> Result<FaultedRun, SimError> {
+    let _run_span = fedval_obs::span_with("testbed.simulate.run", || {
+        format!(
+            "mask={} horizon={} seed={}",
+            coalition.0, config.horizon, config.seed
+        )
+    });
     let n_classes = workload.classes.len();
     let mut rng = SimRng::seed_from(config.seed);
     let requests: Vec<SliceRequest> = workload.generate(config.horizon, &mut rng);
@@ -510,6 +516,21 @@ pub fn run_coalition_faulted(
         busy.mean(config.horizon) / total_capacity as f64
     };
 
+    // Counters are aggregated locally during the event loop and reported
+    // once per run, so the loop itself emits no records.
+    if fedval_obs::is_enabled() {
+        fedval_obs::counter_add("testbed.simulate.runs", 1);
+        fedval_obs::counter_add("testbed.simulate.requests", requests.len() as u64);
+        fedval_obs::counter_add("testbed.simulate.admitted", admitted.iter().sum());
+        fedval_obs::counter_add("testbed.simulate.blocked", blocked.iter().sum());
+        fedval_obs::counter_add("testbed.simulate.disrupted_slivers", disrupted);
+        fedval_obs::counter_add("testbed.simulate.faults_injected", u64::from(faults_injected));
+        fedval_obs::counter_add(
+            "testbed.simulate.credential_retries",
+            u64::from(credential_retries),
+        );
+    }
+
     Ok(FaultedRun {
         report: SimReport {
             total_utility: per_class_utility.iter().sum(),
@@ -548,6 +569,7 @@ fn schedule_faults(
     };
     let mut applied = 0u32;
     for fault in plan.events() {
+        let applied_before = applied;
         match *fault {
             Fault::NodeCrash {
                 node,
@@ -619,6 +641,9 @@ fn schedule_faults(
                 }
             }
         }
+        if applied > applied_before {
+            fedval_obs::event("testbed.faults.apply", || fault.obs_fields());
+        }
     }
     Ok(applied)
 }
@@ -678,6 +703,9 @@ pub fn empirical_game_diagnosed(
         return Err(SimError::TooManyAuthorities { n, max: MAX_PLAYERS });
     }
     let size = 1usize << n;
+    let _game_span = fedval_obs::span_with("testbed.empirical.game", || {
+        format!("n={n} coalitions={size}")
+    });
     let mut values = vec![0.0_f64; size];
     let mut per_coalition: Vec<CoalitionDiagnostics> = Vec::with_capacity(size);
     for mask in 0..size as u64 {
@@ -689,13 +717,20 @@ pub fn empirical_game_diagnosed(
         match run_coalition_faulted(federation, c, workload, config, plan) {
             Ok(run) if run.report.total_utility.is_finite() => {
                 values[c.index()] = run.report.total_utility;
-                per_coalition.push(CoalitionDiagnostics {
+                let diag = CoalitionDiagnostics {
                     coalition: c,
                     source: ValueSource::Measured,
                     faults_injected: run.faults_injected,
                     credential_retries: run.credential_retries,
                     error: None,
-                });
+                };
+                // Only disturbed measurements are worth a trace event;
+                // clean coalitions would flood the trace with 2^n lines
+                // saying "nothing happened".
+                if diag.faults_injected > 0 || diag.credential_retries > 0 {
+                    fedval_obs::event("testbed.empirical.coalition", || diag.obs_fields());
+                }
+                per_coalition.push(diag);
             }
             outcome => {
                 let why = match outcome {
@@ -704,19 +739,40 @@ pub fn empirical_game_diagnosed(
                 };
                 let (value, source) = conservative_fallback(c, &values);
                 values[c.index()] = value;
-                per_coalition.push(CoalitionDiagnostics {
+                let diag = CoalitionDiagnostics {
                     coalition: c,
                     source,
                     faults_injected: 0,
                     credential_retries: 0,
                     error: Some(why),
-                });
+                };
+                fedval_obs::counter_add("testbed.empirical.fallbacks", 1);
+                fedval_obs::event("testbed.empirical.coalition", || diag.obs_fields());
+                per_coalition.push(diag);
             }
         }
     }
+    let diagnostics = GameDiagnostics { per_coalition };
+    fedval_obs::event("testbed.empirical.game", || {
+        vec![
+            ("coalitions".to_string(), size.to_string()),
+            (
+                "fallbacks".to_string(),
+                diagnostics.fallbacks_used().to_string(),
+            ),
+            (
+                "faults_injected".to_string(),
+                diagnostics.total_faults_injected().to_string(),
+            ),
+            (
+                "credential_retries".to_string(),
+                diagnostics.total_credential_retries().to_string(),
+            ),
+        ]
+    });
     Ok(MeasuredGame {
         game: TableGame::from_values(n, values),
-        diagnostics: GameDiagnostics { per_coalition },
+        diagnostics,
     })
 }
 

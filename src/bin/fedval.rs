@@ -17,7 +17,9 @@ use fedval::{
     Coalition, CoalitionalGame, Demand, ExperimentClass, Facility, FederationScenario,
     SharingScheme, Volume,
 };
+use fedval_obs::{FileSink, RecordingSink, RunReport, Sink, TeeSink};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Options {
@@ -28,6 +30,8 @@ struct Options {
     shape: f64,
     volume: Option<u64>, // None = capacity-filling
     scheme: String,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> &'static str {
@@ -41,7 +45,11 @@ fn usage() -> &'static str {
        --volume     K           number of experiments; omit for one,\n\
                                 'fill' for capacity-filling demand\n\
        --scheme     name        shapley|proportional|consumption|\n\
-                                nucleolus|equal          (default shapley)\n"
+                                nucleolus|equal          (default shapley)\n\
+       --trace      path        write a JSONL observability trace (spans,\n\
+                                counters, events) to this file\n\
+       --metrics                print the run report (per-phase timings,\n\
+                                counter totals) after the command output\n"
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -53,12 +61,19 @@ fn parse(args: &[String]) -> Result<Options, String> {
         shape: 1.0,
         volume: Some(1),
         scheme: "shapley".to_string(),
+        trace: None,
+        metrics: false,
     };
     if !matches!(opts.command.as_str(), "report" | "shares" | "values") {
         return Err(format!("unknown command '{}'\n\n{}", opts.command, usage()));
     }
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        // Valueless switches are matched before the generic value grab.
+        if flag == "--metrics" {
+            opts.metrics = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -92,6 +107,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--scheme" => {
                 opts.scheme = value.clone();
+            }
+            "--trace" => {
+                opts.trace = Some(value.clone());
             }
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
@@ -141,11 +159,36 @@ fn scheme_from_name(name: &str) -> Result<SharingScheme, String> {
     })
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse(&args)?;
-    let scenario = build_scenario(&opts);
+/// Installs the observability sink combination requested on the command
+/// line. Returns the recording handle when `--metrics` asked for a run
+/// report, so `run` can aggregate after the command finishes.
+fn install_observability(opts: &Options) -> Result<Option<RecordingSink>, String> {
+    let recording = opts.metrics.then(RecordingSink::new);
+    let file = match &opts.trace {
+        Some(path) => {
+            Some(FileSink::create(path).map_err(|e| format!("--trace {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let sink: Option<Arc<dyn Sink>> = match (file, recording.clone()) {
+        (Some(f), Some(r)) => Some(Arc::new(TeeSink::new(f, r))),
+        (Some(f), None) => Some(Arc::new(f)),
+        (None, Some(r)) => Some(Arc::new(r)),
+        (None, None) => None,
+    };
+    if let Some(sink) = sink {
+        fedval_obs::install(sink);
+    }
+    Ok(recording)
+}
+
+fn execute(opts: &Options) -> Result<(), String> {
+    let scenario = {
+        let _span = fedval_obs::span("fedval.cli.scenario");
+        build_scenario(opts)
+    };
     let n = scenario.facilities().len();
+    let _command_span = fedval_obs::span_with("fedval.cli.command", || opts.command.clone());
 
     match opts.command.as_str() {
         "values" => {
@@ -181,6 +224,24 @@ fn run() -> Result<(), String> {
         _ => unreachable!("validated in parse"),
     }
     Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse(&args)?;
+    let recording = install_observability(&opts)?;
+
+    let outcome = execute(&opts);
+
+    // Disable and flush before aggregating so the trace file is complete
+    // and the recording contains every span-end.
+    if opts.trace.is_some() || opts.metrics {
+        fedval_obs::shutdown();
+    }
+    if let Some(recording) = recording {
+        print!("{}", RunReport::from_records(&recording.records()).render());
+    }
+    outcome
 }
 
 fn main() -> ExitCode {
@@ -243,6 +304,21 @@ mod tests {
         assert!(parse(&args(&["shares", "--capacities", "1,2"])).is_err());
         assert!(scheme_from_name("venetian").is_err());
         assert!(parse(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let opts = parse(&args(&[
+            "report", "--metrics", "--trace", "out.jsonl", "--threshold", "250",
+        ]))
+        .unwrap();
+        assert!(opts.metrics);
+        assert_eq!(opts.trace.as_deref(), Some("out.jsonl"));
+        assert_eq!(opts.threshold, 250.0);
+        // --metrics takes no value; --trace requires one.
+        let bare = parse(&args(&["values", "--metrics"])).unwrap();
+        assert!(bare.metrics && bare.trace.is_none());
+        assert!(parse(&args(&["values", "--trace"])).is_err());
     }
 
     #[test]

@@ -82,3 +82,67 @@ fn nucleolus_scheme_via_cli() {
         .sum();
     assert!((total - 1300.0).abs() < 1.0, "payoff column sums to {total}");
 }
+
+#[test]
+fn trace_flag_writes_valid_jsonl_with_pipeline_spans() {
+    let path = std::env::temp_dir().join("fedval_cli_trace_test.jsonl");
+    let path_arg = path.to_str().expect("temp path is utf-8");
+    let (stdout, _, ok) = fedval(&["report", "--trace", path_arg]);
+    assert!(ok);
+    assert!(stdout.contains("recommended:"), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains("\"type\":"), "untyped record: {line}");
+    }
+    // The §4.1 pipeline is visible: scenario build, every coalition LP
+    // evaluation (8 for 3 players), Shapley aggregation, report build.
+    for span in [
+        "core.scenario.table_build",
+        "coalition.game.eval",
+        "coalition.shapley.exact",
+        "policy.report.build",
+        "fedval.cli.command",
+    ] {
+        assert!(text.contains(span), "trace is missing {span}");
+    }
+    let evals = text
+        .lines()
+        .filter(|l| l.contains("span_start") && l.contains("coalition.game.eval"))
+        .count();
+    assert_eq!(evals, 8, "one eval span per coalition of 3 players");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_flag_appends_run_report() {
+    let (stdout, _, ok) = fedval(&["shares", "--metrics", "--scheme", "nucleolus"]);
+    assert!(ok);
+    // Command output first, then the run report.
+    assert!(stdout.contains("V(N) = 1300.00"), "{stdout}");
+    assert!(stdout.contains("== run report =="), "{stdout}");
+    assert!(stdout.contains("-- spans (wall time) --"), "{stdout}");
+    assert!(stdout.contains("simplex.solver.pivots"), "{stdout}");
+    assert!(stdout.contains("coalition.nucleolus.lp_solves"), "{stdout}");
+    let report_at = stdout.find("== run report ==").unwrap();
+    let shares_at = stdout.find("V(N)").unwrap();
+    assert!(shares_at < report_at, "report must follow the command output");
+}
+
+#[test]
+fn trace_to_unwritable_path_fails_cleanly() {
+    let (_, stderr, ok) = fedval(&["report", "--trace", "/nonexistent-dir/out.jsonl"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trace"), "{stderr}");
+}
+
+#[test]
+fn untraced_runs_print_no_report() {
+    let (stdout, _, ok) = fedval(&["shares"]);
+    assert!(ok);
+    assert!(!stdout.contains("== run report =="));
+}
