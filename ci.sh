@@ -38,6 +38,22 @@ if ! cargo run -q -p fedval-bench --release --bin bench_pipeline -- --check; the
     exit 1
 fi
 
+echo "== sweep thread-invariance (repro --csv at --threads 1 vs 4)"
+sweep_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp"' EXIT
+mkdir -p "$sweep_tmp/t1" "$sweep_tmp/t4"
+cargo run -q -p fedval-bench --release --bin repro -- all \
+    --csv "$sweep_tmp/t1" --threads 1 > /dev/null
+cargo run -q -p fedval-bench --release --bin repro -- all \
+    --csv "$sweep_tmp/t4" --threads 4 > /dev/null
+if ! diff -r "$sweep_tmp/t1" "$sweep_tmp/t4"; then
+    echo ""
+    echo "ci.sh: figure data differs between --threads 1 and --threads 4."
+    echo "The sweep engine's determinism contract (DESIGN.md section 9) is"
+    echo "broken: results must merge in input order, independent of scheduling."
+    exit 1
+fi
+
 echo "== fedval-lint (workspace static analysis vs lint-baseline.toml)"
 if ! cargo run -q -p fedval-lint --release; then
     echo ""

@@ -2,8 +2,9 @@
 //!
 //! Runs the paper's §4.1 worked example (scenario build → Shapley →
 //! nucleolus → policy report), a cached-Shapley pass for the coalition
-//! cache ratio, and a seeded demand simulation for the desim event rate —
-//! all under a [`RecordingSink`] — then writes the aggregate as JSON.
+//! cache ratio, a seeded demand simulation for the desim event rate, and
+//! the full Fig. 4–9 sweep twice (threads=1 vs `--threads N`) — all under
+//! a [`RecordingSink`] — then writes the aggregate as JSON.
 //!
 //! ```text
 //! cargo run --release -p fedval-bench --bin bench_pipeline             # write
@@ -12,12 +13,16 @@
 //!
 //! The JSON has two sections. `"deterministic"` holds counts that must be
 //! byte-identical on every machine and every run (pivot counts, LP solves,
-//! cache ratios, seeded simulation totals); `"timing"` holds wall-clock
-//! measurements and derived rates, refreshed on each write. `--check`
-//! re-runs the pipeline and fails unless the committed file contains the
-//! regenerated deterministic section byte for byte — timing drift is fine,
-//! a logic change that shifts pivot or event counts is not.
+//! cache ratios, seeded simulation totals, per-figure sweep totals, and
+//! the threads=1 vs threads=N byte-equality verdict); `"timing"` holds
+//! wall-clock measurements and derived rates — including the sequential
+//! vs parallel sweep walls and their speedup — refreshed on each write.
+//! `--check` re-runs the pipeline and fails unless the committed file
+//! contains the regenerated deterministic section byte for byte — timing
+//! drift is fine, a logic change that shifts pivot or event counts (or
+//! breaks sweep thread-invariance) is not.
 
+use fedval_bench::{set_sweep_threads, Figure};
 use fedval_coalition::{shapley, CachedGame, Coalition};
 use fedval_core::{paper_facilities, Demand, ExperimentClass, FederationScenario};
 use fedval_obs::{RecordingSink, RunReport};
@@ -30,12 +35,84 @@ fn bench_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json")
 }
 
+/// Outcome of the Fig. 4–9 sweep legs: per-figure data totals (from the
+/// sequential leg) and whether the parallel leg reproduced every figure
+/// byte for byte.
+struct SweepSummary {
+    /// `(figure id, sum of every series value)` in figure order.
+    totals: Vec<(&'static str, f64)>,
+    /// Scenario points evaluated per leg.
+    points: u64,
+    /// True iff `to_csv()` is byte-identical between the two legs.
+    thread_invariant: bool,
+    /// Worker count used by the parallel leg.
+    parallel_threads: usize,
+}
+
+/// The figures that are sweeps (everything except closed-form Fig. 2).
+fn sweep_figures() -> Vec<Figure> {
+    vec![
+        fedval_bench::fig4_threshold(),
+        fedval_bench::fig5_shape(),
+        fedval_bench::fig6_resources(),
+        fedval_bench::fig7_mixture(),
+        fedval_bench::fig8_volume(),
+        fedval_bench::fig9_incentives(),
+    ]
+}
+
+/// Scenario points one generation of `fig` evaluated: every series shares
+/// the same x grid, and Fig. 9 sweeps the full threshold × L₁ grid (its
+/// six series come in ϕ/π pairs, one pair per threshold).
+fn fig_points(fig: &Figure) -> u64 {
+    let xs = fig.series.first().map_or(0, |s| s.points.len());
+    let curves = if fig.id == "fig9" { fig.series.len() / 2 } else { 1 };
+    (xs * curves) as u64
+}
+
+/// Sum of every series value in the figure — one number that moves if any
+/// data point moves.
+fn fig_total(fig: &Figure) -> f64 {
+    fig.series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .sum()
+}
+
+/// Runs Fig. 4–9 once at threads=1 and once at `parallel_threads`,
+/// proving the figure data thread-count-invariant and measuring both
+/// walls (under `bench.phase.sweep_sequential` / `..._parallel` spans).
+fn run_sweep_legs(parallel_threads: usize) -> SweepSummary {
+    let sequential = {
+        let _leg = fedval_obs::span("bench.phase.sweep_sequential");
+        set_sweep_threads(1);
+        sweep_figures()
+    };
+    let parallel = {
+        let _leg = fedval_obs::span("bench.phase.sweep_parallel");
+        set_sweep_threads(parallel_threads);
+        sweep_figures()
+    };
+    set_sweep_threads(0); // restore the process-wide default
+    let thread_invariant = sequential.len() == parallel.len()
+        && sequential
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_csv() == b.to_csv());
+    SweepSummary {
+        totals: sequential.iter().map(|f| (f.id, fig_total(f))).collect(),
+        points: sequential.iter().map(fig_points).sum(),
+        thread_invariant,
+        parallel_threads,
+    }
+}
+
 /// Runs every phase under the installed sink and returns the aggregate.
-fn run_pipeline() -> RunReport {
+fn run_pipeline(parallel_threads: usize) -> (RunReport, SweepSummary) {
     let recording = RecordingSink::new();
     fedval_obs::install(std::sync::Arc::new(recording.clone()));
 
-    {
+    let sweep = {
         let _total = fedval_obs::span("bench.pipeline.total");
 
         // §4.1 worked example: three facilities, one diversity-hungry
@@ -87,10 +164,16 @@ fn run_pipeline() -> RunReport {
             };
             let _ = run_coalition(&federation, Coalition::grand(2), &workload, &config);
         }
-    }
+        {
+            // Fig. 4–9 twice: sequential baseline, then the parallel
+            // engine — same data, two wall clocks.
+            let _phase = fedval_obs::span("bench.phase.sweep");
+            run_sweep_legs(parallel_threads)
+        }
+    };
 
     fedval_obs::shutdown();
-    RunReport::from_records(&recording.records())
+    (RunReport::from_records(&recording.records()), sweep)
 }
 
 fn push_kv_u64(out: &mut String, key: &str, value: u64, last: bool) {
@@ -108,7 +191,7 @@ fn push_kv_f64(out: &mut String, key: &str, value: f64, last: bool) {
 }
 
 /// The deterministic section: identical bytes on every run and machine.
-fn deterministic_section(report: &RunReport) -> String {
+fn deterministic_section(report: &RunReport, sweep: &SweepSummary) -> String {
     let mut out = String::from("  \"deterministic\": {\n");
     let ratio = report.cache_ratio("coalition.cache").unwrap_or(0.0);
     push_kv_f64(&mut out, "coalition.cache.hit_ratio", ratio, false);
@@ -147,6 +230,18 @@ fn deterministic_section(report: &RunReport) -> String {
         &mut out,
         "testbed.simulate.runs",
         report.counter("testbed.simulate.runs"),
+        false,
+    );
+    push_kv_u64(&mut out, "sweep.figures", sweep.totals.len() as u64, false);
+    push_kv_u64(&mut out, "sweep.points", sweep.points, false);
+    for (id, total) in &sweep.totals {
+        push_kv_f64(&mut out, &format!("sweep.{id}.total"), *total, false);
+    }
+    // 1 iff the parallel leg reproduced every figure byte for byte.
+    push_kv_u64(
+        &mut out,
+        "sweep.thread_invariant",
+        u64::from(sweep.thread_invariant),
         true,
     );
     out.push_str("  }");
@@ -154,7 +249,7 @@ fn deterministic_section(report: &RunReport) -> String {
 }
 
 /// The timing section: wall-clock, refreshed on every write.
-fn timing_section(report: &RunReport) -> String {
+fn timing_section(report: &RunReport, sweep: &SweepSummary) -> String {
     let mut out = String::from("  \"timing\": {\n");
     push_kv_u64(
         &mut out,
@@ -169,6 +264,7 @@ fn timing_section(report: &RunReport) -> String {
         "report",
         "cached_shapley",
         "demand_sim",
+        "sweep",
     ] {
         push_kv_u64(
             &mut out,
@@ -180,23 +276,60 @@ fn timing_section(report: &RunReport) -> String {
     let events_per_sec = report
         .rate_per_sec("desim.engine.delivered", "testbed.simulate.run")
         .unwrap_or(0.0);
-    push_kv_f64(&mut out, "desim.events_per_sec", events_per_sec, true);
+    push_kv_f64(&mut out, "desim.events_per_sec", events_per_sec, false);
+    let sequential_ns = report.span_total_ns("bench.phase.sweep_sequential");
+    let parallel_ns = report.span_total_ns("bench.phase.sweep_parallel");
+    push_kv_u64(&mut out, "sweep.sequential_wall_ns", sequential_ns, false);
+    push_kv_u64(&mut out, "sweep.parallel_wall_ns", parallel_ns, false);
+    push_kv_u64(
+        &mut out,
+        "sweep.parallel_threads",
+        sweep.parallel_threads as u64,
+        false,
+    );
+    let speedup = if parallel_ns > 0 {
+        sequential_ns as f64 / parallel_ns as f64
+    } else {
+        0.0
+    };
+    push_kv_f64(&mut out, "sweep.speedup", speedup, true);
     out.push_str("  }");
     out
 }
 
-fn render_json(report: &RunReport) -> String {
+fn render_json(report: &RunReport, sweep: &SweepSummary) -> String {
     format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation\",\n{},\n{}\n}}\n",
-        deterministic_section(report),
-        timing_section(report),
+        "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation + fig4-9 sweep\",\n{},\n{}\n}}\n",
+        deterministic_section(report, sweep),
+        timing_section(report, sweep),
     )
 }
 
 fn main() -> ExitCode {
-    let check = std::env::args().skip(1).any(|a| a == "--check");
-    let report = run_pipeline();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    // Worker count for the parallel sweep leg. Default 4: the committed
+    // deterministic section proves threads=1 vs threads=4 equality.
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(pos) => match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads needs a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 4,
+    };
+    let (report, sweep) = run_pipeline(threads);
     let path = bench_path();
+
+    if !sweep.thread_invariant {
+        eprintln!(
+            "bench_pipeline: figure data differs between threads=1 and threads={}",
+            sweep.parallel_threads
+        );
+        return ExitCode::FAILURE;
+    }
 
     if check {
         let existing = match std::fs::read_to_string(&path) {
@@ -206,7 +339,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let expected = deterministic_section(&report);
+        let expected = deterministic_section(&report, &sweep);
         if existing.contains(&expected) {
             println!("bench_pipeline --check: deterministic section matches");
             ExitCode::SUCCESS
@@ -220,7 +353,7 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     } else {
-        let json = render_json(&report);
+        let json = render_json(&report, &sweep);
         match std::fs::write(&path, &json) {
             Ok(()) => {
                 print!("{json}");

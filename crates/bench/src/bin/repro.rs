@@ -7,6 +7,9 @@
 //! cargo run --release -p fedval-bench --bin repro -- checks  # checks only
 //! ```
 //!
+//! `--threads N` sets the sweep worker count (default: available
+//! parallelism); every N produces byte-identical figure data.
+//!
 //! Exit code 0 iff every check passes.
 
 use fedval_bench::{all_figures, check_all, table_e1};
@@ -49,6 +52,20 @@ fn main() -> ExitCode {
         args.drain(pos..=(pos + 1).min(args.len() - 1));
         dir
     });
+    // --threads N: sweep worker count (default: available parallelism).
+    // The figure data is byte-identical for every value (DESIGN.md §9).
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--threads needs a positive integer");
+            return ExitCode::FAILURE;
+        };
+        if n == 0 {
+            eprintln!("--threads must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        args.drain(pos..=pos + 1);
+        fedval_bench::set_sweep_threads(n);
+    }
     let write_csv = |fig: &fedval_bench::Figure| {
         if let Some(dir) = &csv_dir {
             let path = std::path::Path::new(dir).join(format!("{}.csv", fig.id));

@@ -5,19 +5,46 @@
 //! the choice is documented on the generator and in EXPERIMENTS.md.
 
 use crate::series::{Figure, Series};
+use crate::sweep::{run_sweep, sweep_threads};
 use fedval_core::{
     paper_facilities, paper_facilities_with_locations, Demand, ExperimentClass, FederationScenario,
     ThresholdPower, Utility, Volume,
 };
 
+/// One sweep point's share vectors (n = 3 facilities).
+struct PointShares {
+    phi: Vec<f64>,
+    pi: Vec<f64>,
+    rho: Option<Vec<f64>>,
+}
+
 /// Convenience: ϕ̂/π̂ (and optionally ρ̂) series for a family of scenarios
 /// swept over `xs`.
+///
+/// Each point builds its own [`FederationScenario`] inside a
+/// [`run_sweep`] worker (the scenario's lazy table cell is
+/// single-threaded, so scenarios are never shared across workers); the
+/// engine merges results in input order, making the series byte-identical
+/// for every thread count.
 fn share_sweep(
     xs: &[f64],
-    scenario_at: impl Fn(f64) -> FederationScenario,
+    scenario_at: impl Fn(f64) -> FederationScenario + Sync,
     include_consumption: bool,
 ) -> Vec<Series> {
     let n = 3usize;
+    let shares = run_sweep(
+        xs,
+        |&x| {
+            let scenario = scenario_at(x);
+            PointShares {
+                phi: scenario.shapley_shares(),
+                pi: scenario.proportional_shares(),
+                rho: include_consumption.then(|| scenario.consumption_shares()),
+            }
+        },
+        sweep_threads(),
+    );
+
     let mut phi: Vec<Series> = (1..=n)
         .map(|i| Series::new(format!("phi_hat_{i}")))
         .collect();
@@ -31,16 +58,12 @@ fn share_sweep(
     } else {
         Vec::new()
     };
-    for &x in xs {
-        let scenario = scenario_at(x);
-        let phi_hat = scenario.shapley_shares();
-        let pi_hat = scenario.proportional_shares();
+    for (&x, point) in xs.iter().zip(&shares) {
         for i in 0..n {
-            phi[i].push(x, phi_hat[i]);
-            pi[i].push(x, pi_hat[i]);
+            phi[i].push(x, point.phi[i]);
+            pi[i].push(x, point.pi[i]);
         }
-        if include_consumption {
-            let rho_hat = scenario.consumption_shares();
+        if let Some(rho_hat) = &point.rho {
             for i in 0..n {
                 rho[i].push(x, rho_hat[i]);
             }
@@ -243,18 +266,36 @@ pub fn fig8_volume() -> Figure {
 pub fn fig9_incentives() -> Figure {
     let l1_values: Vec<u32> = (0..=20).map(|k| k * 50).collect();
     let thresholds = [0.0, 400.0, 800.0];
-    let mut series = Vec::new();
-    for &l in &thresholds {
-        let mut phi = Series::new(format!("phi_1(l={l})"));
-        let mut pi = Series::new(format!("pi_1(l={l})"));
-        for &l1 in &l1_values {
+    // Flatten the threshold × L₁ grid into one point list so the sweep
+    // engine parallelizes across the whole figure, not per-curve.
+    let points: Vec<(f64, u32)> = thresholds
+        .iter()
+        .flat_map(|&l| l1_values.iter().map(move |&l1| (l, l1)))
+        .collect();
+    let profits = run_sweep(
+        &points,
+        |&(l, l1)| {
             let scenario = FederationScenario::new(
                 paper_facilities_with_locations([l1, 400, 800], [80, 60, 20]),
                 Demand::capacity_filling(ExperimentClass::simple("e", l, 1.0)),
             );
             let grand = scenario.grand_value();
-            phi.push(f64::from(l1), scenario.shapley_shares()[0] * grand);
-            pi.push(f64::from(l1), scenario.proportional_shares()[0] * grand);
+            (
+                scenario.shapley_shares()[0] * grand,
+                scenario.proportional_shares()[0] * grand,
+            )
+        },
+        sweep_threads(),
+    );
+
+    let mut series = Vec::new();
+    for (t, &l) in thresholds.iter().enumerate() {
+        let mut phi = Series::new(format!("phi_1(l={l})"));
+        let mut pi = Series::new(format!("pi_1(l={l})"));
+        for (k, &l1) in l1_values.iter().enumerate() {
+            let (phi_1, pi_1) = profits[t * l1_values.len() + k];
+            phi.push(f64::from(l1), phi_1);
+            pi.push(f64::from(l1), pi_1);
         }
         series.push(phi);
         series.push(pi);

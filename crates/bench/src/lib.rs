@@ -5,6 +5,9 @@
 //!
 //! * [`figures`] — one generator per table/figure (Fig. 2, Table E1,
 //!   Figs. 4–9), returning typed [`Series`] data.
+//! * [`sweep`] — the deterministic parallel sweep engine the figure
+//!   generators run on (`--threads N`, byte-identical output at every
+//!   thread count; DESIGN.md §9).
 //! * [`checks`] — the acceptance criteria extracted from §4's prose.
 //! * `src/bin/repro.rs` — prints everything; `cargo run -p fedval-bench
 //!   --bin repro`.
@@ -16,6 +19,7 @@ pub mod extras;
 pub mod figures;
 pub mod series;
 pub mod svg;
+pub mod sweep;
 
 pub use checks::{check_all, CheckResult};
 pub use extras::{
@@ -27,6 +31,7 @@ pub use figures::{
     fig8_volume, fig9_incentives, table_e1, WorkedExample, FIG7_TOTAL_DEMAND,
 };
 pub use series::{Figure, Series};
+pub use sweep::{available_threads, run_sweep, set_sweep_threads, sweep_threads};
 
 #[cfg(test)]
 mod tests {

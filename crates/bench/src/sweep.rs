@@ -1,0 +1,250 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every figure of the paper's evaluation is a *sweep*: ~20–50 scenario
+//! points, each materializing a dense `TableGame` (`2^n` LP-backed
+//! characteristic-function evaluations) and running the share
+//! computations. The points are independent, so [`run_sweep`] shards
+//! them across scoped worker threads — but the emitted figure data and
+//! the observability record stream must be **byte-identical regardless
+//! of thread count** (DESIGN.md §9). Three mechanisms deliver that:
+//!
+//! 1. **Input-order merge.** Workers tag each result with its point
+//!    index; the coordinator sorts by index before returning, so the
+//!    output `Vec` is positionally identical to a sequential loop.
+//! 2. **Record capture/replay.** Each point's evaluation runs inside
+//!    [`fedval_obs::capture`], so nothing reaches the sink while workers
+//!    interleave. The coordinator replays the buffers point-by-point in
+//!    input order — the record stream a sink sees is
+//!    scheduling-independent.
+//! 3. **Counter folding.** Counters from all points are summed into one
+//!    `BTreeMap` and emitted once per sweep (ordered by name), so
+//!    per-point counter noise collapses to a stable total.
+//!
+//! `threads = 1` runs the *same* capture/replay path on the calling
+//! thread, so sequential and parallel runs emit identical streams.
+
+use fedval_obs::Record;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default worker count for figure sweeps; `0` means "use
+/// [`available_threads`]". Set from `--threads N` by the bins.
+static SWEEP_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads the hardware offers (`available_parallelism`), with a
+/// floor of 1 when the hint is unavailable.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sets the process-wide default sweep worker count (`0` restores the
+/// "available parallelism" default). This is what `--threads N` wires up.
+pub fn set_sweep_threads(threads: usize) {
+    SWEEP_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// The effective default sweep worker count: the value from
+/// [`set_sweep_threads`], or [`available_threads`] when unset.
+pub fn sweep_threads() -> usize {
+    match SWEEP_THREADS.load(Ordering::SeqCst) {
+        0 => available_threads(),
+        t => t,
+    }
+}
+
+/// One worker's finished point: input index, result, captured records,
+/// and wall time (for the per-point histogram).
+struct Finished<T> {
+    index: usize,
+    result: T,
+    records: Vec<Record>,
+    dur_ns: u64,
+}
+
+/// Evaluates `eval` on every point, sharding across up to `threads`
+/// scoped workers, and returns the results **in input order**.
+///
+/// The output — both the returned `Vec` and the observability record
+/// stream — is byte-identical for every `threads` value (see the module
+/// docs for how). `threads` is clamped to `1..=points.len()`; pass
+/// [`sweep_threads`] to honor the process-wide `--threads` setting.
+///
+/// Observability: the whole call runs under a `bench.sweep` span, each
+/// point contributes a `bench.sweep.point_ns` observation (in input
+/// order), and `bench.sweep.points` counts points evaluated.
+pub fn run_sweep<P, T, F>(points: &[P], eval: F, threads: usize) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> T + Sync,
+{
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, points.len());
+    let _sweep = fedval_obs::span_with("bench.sweep", || {
+        format!("points={} threads={}", points.len(), threads)
+    });
+
+    let finished: Mutex<Vec<Finished<T>>> = Mutex::new(Vec::with_capacity(points.len()));
+    let next: AtomicUsize = AtomicUsize::new(0);
+    let worker = |_: ()| loop {
+        let index = next.fetch_add(1, Ordering::SeqCst);
+        if index >= points.len() {
+            return;
+        }
+        let start = fedval_obs::now_ns();
+        let (result, records) = fedval_obs::capture(|| eval(&points[index]));
+        let dur_ns = fedval_obs::now_ns().saturating_sub(start);
+        let mut done = match finished.lock() {
+            Ok(guard) => guard,
+            // A panicking sibling poisons the lock but the Vec only ever
+            // holds complete entries; recover and keep collecting (the
+            // panic itself still propagates through the scope join).
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        done.push(Finished {
+            index,
+            result,
+            records,
+            dur_ns,
+        });
+    };
+
+    if threads == 1 {
+        worker(());
+    } else {
+        let joined = crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+        if let Err(payload) = joined {
+            // A worker panicked: surface the original panic instead of a
+            // generic poisoned-state error.
+            // lint: allow(no-panic-path) — re-raising a worker panic, not
+            // originating one.
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    let mut finished = match finished.into_inner() {
+        Ok(done) => done,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    finished.sort_by_key(|f| f.index);
+
+    // Replay per-point records in input order; counters are folded across
+    // the whole sweep and emitted once, ordered by name.
+    let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut results = Vec::with_capacity(finished.len());
+    for f in finished {
+        fedval_obs::replay(f.records.into_iter().filter(|r| match r {
+            Record::Counter { name, delta } => {
+                *counter_totals.entry(name.clone()).or_insert(0) += delta;
+                false
+            }
+            _ => true,
+        }));
+        fedval_obs::observe_ns("bench.sweep.point_ns", f.dur_ns);
+        results.push(f.result);
+    }
+    fedval_obs::counter_add("bench.sweep.points", results.len() as u64);
+    fedval_obs::replay(
+        counter_totals
+            .into_iter()
+            .map(|(name, delta)| Record::Counter { name, delta }),
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_obs::{MetricsSnapshot, RecordingSink};
+    use std::sync::Arc;
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let points: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = points.iter().map(|p| p * p).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let out = run_sweep(&points, |&p| p * p, threads);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+        assert!(run_sweep(&Vec::<u64>::new(), |&p: &u64| p, 4).is_empty());
+    }
+
+    /// The obs registry is process-global, so every record-stream
+    /// scenario lives in this one test (parallel test threads would
+    /// interleave records otherwise).
+    #[test]
+    fn record_stream_is_thread_count_invariant() {
+        let traced = |threads: usize| {
+            let sink = RecordingSink::new();
+            fedval_obs::install(Arc::new(sink.clone()));
+            let points: Vec<u64> = (0..16).collect();
+            let out = run_sweep(
+                &points,
+                |&p| {
+                    let _span = fedval_obs::span("t.sweep.point");
+                    fedval_obs::counter_add("t.sweep.evals", 1);
+                    fedval_obs::event("t.sweep.done", || vec![("p".into(), p.to_string())]);
+                    p + 1
+                },
+                threads,
+            );
+            fedval_obs::shutdown();
+            (out, sink.records())
+        };
+
+        let (seq_out, seq_records) = traced(1);
+        let seq_snap = MetricsSnapshot::from_records(&seq_records);
+        assert_eq!(seq_snap.counter("t.sweep.evals"), 16);
+        assert_eq!(seq_snap.counter("bench.sweep.points"), 16);
+        assert_eq!(seq_snap.spans("t.sweep.point"), 16);
+        assert_eq!(seq_snap.spans("bench.sweep"), 1);
+        assert_eq!(seq_snap.observe_counts["bench.sweep.point_ns"], 16);
+        // Events replay in input order, not completion order.
+        let payloads: Vec<String> = (0..16).map(|p| format!("p={p}")).collect();
+        assert_eq!(seq_snap.events["t.sweep.done"], payloads);
+        // Counters are folded: one emission per name across the sweep.
+        let eval_counter_emissions = seq_records
+            .iter()
+            .filter(|r| matches!(r, fedval_obs::Record::Counter { name, .. } if name == "t.sweep.evals"))
+            .count();
+        assert_eq!(eval_counter_emissions, 1, "counters must fold once per sweep");
+
+        for threads in [2, 4, 8] {
+            let (out, records) = traced(threads);
+            assert_eq!(out, seq_out, "threads={threads}");
+            let snap = MetricsSnapshot::from_records(&records);
+            assert_eq!(
+                snap.to_text(),
+                seq_snap.to_text(),
+                "snapshot must be identical at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let points: Vec<u64> = (0..8).collect();
+        let unwound = std::panic::catch_unwind(|| {
+            run_sweep(&points, |&p| if p == 5 { panic!("point 5 fails") } else { p }, 4)
+        });
+        assert!(unwound.is_err(), "a panicking point must fail the sweep");
+    }
+
+    #[test]
+    fn thread_knob_round_trips() {
+        assert!(available_threads() >= 1);
+        set_sweep_threads(3);
+        assert_eq!(sweep_threads(), 3);
+        set_sweep_threads(0);
+        assert_eq!(sweep_threads(), available_threads());
+    }
+}

@@ -2,9 +2,10 @@
 //! memoizing wrappers.
 
 use crate::coalition::{Coalition, PlayerId};
-use parking_lot::RwLock;
+use crate::error::GameError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A transferable-utility coalitional game `(N, V)`.
 ///
@@ -55,13 +56,22 @@ pub struct TableGame {
 }
 
 impl TableGame {
+    /// Largest player count a dense table supports: `2^25` f64 values is
+    /// 256 MiB; anything bigger must stay lazy (see [`CachedGame`]).
+    pub const MAX_PLAYERS: usize = 25;
+
     /// Builds a table game by evaluating `f` on every coalition.
     ///
-    /// # Panics
-    /// Panics if `n > 25` (the table would exceed 256 MiB) — materialize
-    /// lazily with [`CachedGame`] instead.
-    pub fn from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> TableGame {
-        assert!(n <= 25, "dense table limited to n ≤ 25 players");
+    /// # Errors
+    /// [`GameError::TooManyPlayers`] when `n > TableGame::MAX_PLAYERS` —
+    /// materialize lazily with [`CachedGame`] instead.
+    pub fn try_from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> Result<TableGame, GameError> {
+        if n > TableGame::MAX_PLAYERS {
+            return Err(GameError::TooManyPlayers {
+                n,
+                max: TableGame::MAX_PLAYERS,
+            });
+        }
         let values = Coalition::all(n)
             .map(|c| {
                 // One span per coalition evaluation: with the scenario
@@ -72,12 +82,44 @@ impl TableGame {
                 f(c)
             })
             .collect();
-        TableGame { n, values }
+        Ok(TableGame { n, values })
     }
 
     /// Materializes any [`CoalitionalGame`] into a dense table.
+    ///
+    /// # Errors
+    /// [`GameError::TooManyPlayers`] when the game exceeds
+    /// [`TableGame::MAX_PLAYERS`].
+    pub fn try_from_game<G: CoalitionalGame>(game: &G) -> Result<TableGame, GameError> {
+        TableGame::try_from_fn(game.n_players(), |c| game.value(c))
+    }
+
+    /// Builds a table game by evaluating `f` on every coalition.
+    ///
+    /// # Panics
+    /// Panics where [`TableGame::try_from_fn`] would return an error
+    /// (`n > TableGame::MAX_PLAYERS`).
+    pub fn from_fn(n: usize, f: impl Fn(Coalition) -> f64) -> TableGame {
+        match TableGame::try_from_fn(n, f) {
+            Ok(table) => table,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper for the paper's small scenarios; fallible callers use
+            // try_from_fn.
+            Err(e) => panic!("TableGame::from_fn: {e}"),
+        }
+    }
+
+    /// Materializes any [`CoalitionalGame`] into a dense table.
+    ///
+    /// # Panics
+    /// Panics where [`TableGame::try_from_game`] would return an error.
     pub fn from_game<G: CoalitionalGame>(game: &G) -> TableGame {
-        TableGame::from_fn(game.n_players(), |c| game.value(c))
+        match TableGame::try_from_game(game) {
+            Ok(table) => table,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper mirroring from_fn.
+            Err(e) => panic!("TableGame::from_game: {e}"),
+        }
     }
 
     /// Builds directly from a value vector indexed by coalition mask.
@@ -121,11 +163,32 @@ impl CoalitionalGame for TableGame {
     }
 }
 
+/// One memo-table entry: a finished value, or a marker that some thread is
+/// currently evaluating this coalition (single-flight).
+enum Slot {
+    /// The characteristic function finished; the value is cached.
+    Ready(f64),
+    /// A thread is evaluating this coalition right now; wait, don't re-run.
+    Pending,
+}
+
 /// Memoizing wrapper for games with expensive characteristic functions
 /// (allocation optimizers, simulations).
 ///
-/// Thread-safe: concurrent solution-concept code (e.g. the parallel Shapley
-/// pass) may share one `CachedGame` across threads.
+/// Thread-safe *and single-flight*: concurrent solution-concept code (e.g.
+/// the parallel Shapley pass or the sweep engine) may share one
+/// `CachedGame` across threads, and concurrent misses on the *same*
+/// coalition run the inner evaluation exactly once — the losers of the
+/// race block on a condvar until the winner publishes, instead of
+/// silently re-running an expensive LP solve. Misses on *different*
+/// coalitions still evaluate in parallel (the inner call runs outside the
+/// map lock).
+///
+/// Counters: `coalition.cache.hits` / `coalition.cache.misses` count
+/// served-from-cache vs evaluated-by-this-call; `coalition.cache.duplicate_evals`
+/// counts races where a second thread missed on an in-flight coalition —
+/// each of those was a duplicated inner evaluation before the fix, and is
+/// a blocked wait after it.
 ///
 /// The memo table is a `BTreeMap` keyed by coalition mask: iteration (and
 /// any future snapshot/export of the cache) visits coalitions in ascending
@@ -133,7 +196,8 @@ impl CoalitionalGame for TableGame {
 /// ordering (fedval-lint rule `nondeterministic-iteration`).
 pub struct CachedGame<G> {
     inner: G,
-    cache: RwLock<BTreeMap<u64, f64>>,
+    cache: Mutex<BTreeMap<u64, Slot>>,
+    ready: Condvar,
 }
 
 impl<G: CoalitionalGame> CachedGame<G> {
@@ -141,18 +205,61 @@ impl<G: CoalitionalGame> CachedGame<G> {
     pub fn new(inner: G) -> CachedGame<G> {
         CachedGame {
             inner,
-            cache: RwLock::new(BTreeMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
+            ready: Condvar::new(),
         }
     }
 
-    /// Number of memoized coalition values.
+    /// Number of memoized (finished) coalition values.
     pub fn cached_len(&self) -> usize {
-        self.cache.read().len()
+        self.lock_cache()
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .count()
     }
 
     /// Consumes the wrapper, returning the inner game.
     pub fn into_inner(self) -> G {
         self.inner
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            // The map only ever holds coherent Ready/Pending entries (a
+            // panicking inner evaluation cleans its sentinel up via
+            // EvalGuard before the lock is released), so recover.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait_ready<'a>(
+        &self,
+        guard: MutexGuard<'a, BTreeMap<u64, Slot>>,
+    ) -> MutexGuard<'a, BTreeMap<u64, Slot>> {
+        match self.ready.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Removes the `Pending` sentinel if the inner evaluation unwinds before
+/// publishing, and wakes waiters either way — a blocked thread then finds
+/// the slot empty and retries the evaluation itself rather than hanging.
+struct EvalGuard<'a, G: CoalitionalGame> {
+    game: &'a CachedGame<G>,
+    key: u64,
+}
+
+impl<G: CoalitionalGame> Drop for EvalGuard<'_, G> {
+    fn drop(&mut self) {
+        let mut cache = self.game.lock_cache();
+        if matches!(cache.get(&self.key), Some(Slot::Pending)) {
+            cache.remove(&self.key);
+        }
+        drop(cache);
+        self.game.ready.notify_all();
     }
 }
 
@@ -162,13 +269,45 @@ impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
     }
 
     fn value(&self, coalition: Coalition) -> f64 {
-        if let Some(&v) = self.cache.read().get(&coalition.0) {
-            fedval_obs::counter_add("coalition.cache.hits", 1);
-            return v;
+        let key = coalition.0;
+        {
+            let mut cache = self.lock_cache();
+            let mut raced = false;
+            loop {
+                match cache.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        let v = *v;
+                        drop(cache);
+                        fedval_obs::counter_add("coalition.cache.hits", 1);
+                        return v;
+                    }
+                    Some(Slot::Pending) => {
+                        if !raced {
+                            raced = true;
+                            // A concurrent miss on an in-flight coalition:
+                            // before the single-flight fix this re-ran the
+                            // inner evaluation.
+                            fedval_obs::counter_add("coalition.cache.duplicate_evals", 1);
+                        }
+                        cache = self.wait_ready(cache);
+                    }
+                    None => {
+                        cache.insert(key, Slot::Pending);
+                        break;
+                    }
+                }
+            }
         }
         fedval_obs::counter_add("coalition.cache.misses", 1);
+        let guard = EvalGuard { game: self, key };
         let v = self.inner.value(coalition);
-        self.cache.write().insert(coalition.0, v);
+        {
+            let mut cache = self.lock_cache();
+            cache.insert(key, Slot::Ready(v));
+        }
+        // The guard finds the slot Ready (nothing to clean up) and
+        // notifies the waiters blocked on this coalition.
+        drop(guard);
         v
     }
 }
@@ -262,5 +401,102 @@ mod tests {
         let g = cardinality_game(3);
         let g2 = g.clone();
         assert_eq!(g.values(), g2.values());
+    }
+
+    #[test]
+    fn try_from_fn_rejects_oversized_games() {
+        let err = TableGame::try_from_fn(TableGame::MAX_PLAYERS + 1, |c| c.len() as f64)
+            .expect_err("26 players must not materialize");
+        match &err {
+            GameError::TooManyPlayers { n, max } => {
+                assert_eq!(*n, TableGame::MAX_PLAYERS + 1);
+                assert_eq!(*max, TableGame::MAX_PLAYERS);
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("26"), "error must name the player count: {msg}");
+    }
+
+    #[test]
+    fn try_from_game_matches_from_game() {
+        let g = FnGame::new(3, |c: Coalition| (c.len() * 2) as f64);
+        let table = TableGame::try_from_game(&g).expect("3 players fit");
+        assert_eq!(table.values(), TableGame::from_game(&g).values());
+    }
+
+    #[test]
+    #[should_panic(expected = "supports at most")]
+    fn from_fn_panics_past_max_players() {
+        let _ = TableGame::from_fn(TableGame::MAX_PLAYERS + 1, |_| 0.0);
+    }
+
+    /// Regression test for the concurrent-miss race: before the
+    /// single-flight fix, threads missing on the same coalition all ran
+    /// the inner evaluation. With the fix, inner evals must equal the
+    /// number of distinct coalitions no matter how many threads race.
+    #[test]
+    fn cached_game_single_flight_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        const N: usize = 5; // 32 distinct coalitions
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 3;
+
+        let evals = AtomicUsize::new(0);
+        let cached = CachedGame::new(FnGame::new(N, |c: Coalition| {
+            evals.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window so concurrent misses overlap.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            c.len() as f64
+        }));
+        let barrier = Barrier::new(THREADS);
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cached = &cached;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..ROUNDS {
+                        for c in Coalition::all(N) {
+                            // Stagger start offsets so threads collide on
+                            // different keys, not just in lockstep.
+                            let mask = (c.0 + (t + round) as u64) % (1 << N);
+                            let shifted = Coalition(mask);
+                            assert_eq!(cached.value(shifted), shifted.len() as f64);
+                        }
+                    }
+                });
+            }
+        });
+
+        assert_eq!(
+            evals.load(Ordering::SeqCst),
+            1 << N,
+            "inner evaluations must equal distinct coalitions (single-flight)"
+        );
+        assert_eq!(cached.cached_len(), 1 << N);
+    }
+
+    /// A panicking inner evaluation must clean up its Pending sentinel so
+    /// waiters retry instead of hanging, and later calls succeed.
+    #[test]
+    fn cached_game_recovers_from_panicking_eval() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let cached = CachedGame::new(FnGame::new(2, |c: Coalition| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first evaluation fails");
+            }
+            c.len() as f64
+        }));
+        let c = Coalition::from_players([0, 1]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cached.value(c)));
+        assert!(unwound.is_err());
+        // The sentinel was removed on unwind: the retry evaluates afresh.
+        assert_eq!(cached.value(c), 2.0);
+        assert_eq!(cached.cached_len(), 1);
     }
 }

@@ -56,7 +56,7 @@ pub use core_solution::{
     LeastCore, CORE_TOL,
 };
 pub use diagnostics::{CoalitionDiagnostics, GameDiagnostics, ValueSource};
-pub use error::GameError;
+pub use error::{CoalitionError, GameError};
 pub use dividends::{
     harsanyi_dividends, shapley_from_dividends, top_synergies, values_from_dividends,
 };

@@ -6,8 +6,8 @@ use crate::facility::Facility;
 use crate::sharing;
 use crate::value::FederationGame;
 use fedval_coalition::{
-    analyze, is_core_nonempty, least_core, nucleolus, Coalition, CoalitionalGame, GameProperties,
-    TableGame,
+    analyze, is_core_nonempty, least_core, nucleolus, Coalition, CoalitionError, CoalitionalGame,
+    GameProperties, TableGame,
 };
 
 /// A measured game's player count disagrees with the facility list.
@@ -36,10 +36,17 @@ impl std::error::Error for PlayerCountMismatch {}
 ///
 /// The coalition-value table is materialized lazily on first use and
 /// reused by every subsequent query.
+///
+/// A scenario is intentionally *not* `Sync` (the lazy table cell is
+/// single-threaded); parallel sweeps build one scenario per worker. The
+/// [`with_threads`](FederationScenario::with_threads) knob instead
+/// parallelizes *within* one scenario's Shapley computation — useful for
+/// larger player counts where the `O(2^n)` pass dominates.
 pub struct FederationScenario {
     facilities: Vec<Facility>,
     demand: Demand,
     cost: CostModel,
+    threads: usize,
     table: std::cell::OnceCell<TableGame>,
 }
 
@@ -50,6 +57,7 @@ impl FederationScenario {
             facilities,
             demand,
             cost: CostModel::paper_default(),
+            threads: 1,
             table: std::cell::OnceCell::new(),
         }
     }
@@ -58,6 +66,19 @@ impl FederationScenario {
     pub fn with_cost(mut self, cost: CostModel) -> FederationScenario {
         self.cost = cost;
         self
+    }
+
+    /// Sets the worker-thread count for the Shapley computation (builder
+    /// style). `1` (the default) keeps everything on the calling thread;
+    /// any value yields bit-identical shares (see DESIGN.md §9).
+    pub fn with_threads(mut self, threads: usize) -> FederationScenario {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured Shapley worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Builds a scenario around an *externally measured* coalition-value
@@ -103,6 +124,7 @@ impl FederationScenario {
             facilities,
             demand,
             cost: CostModel::paper_default(),
+            threads: 1,
             table,
         })
     }
@@ -123,13 +145,39 @@ impl FederationScenario {
     }
 
     /// The materialized coalition-value table.
+    ///
+    /// # Panics
+    /// Panics where [`FederationScenario::try_game`] would return an error
+    /// (more facilities than a dense table supports).
     pub fn game(&self) -> &TableGame {
-        self.table.get_or_init(|| {
+        match self.try_game() {
+            Ok(table) => table,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // accessor for the paper's n ≤ 3 scenarios; fallible callers use
+            // try_game.
+            Err(e) => panic!("FederationScenario::game: {e}"),
+        }
+    }
+
+    /// Fallible form of [`FederationScenario::game`]: materializes the
+    /// coalition-value table on first call and caches it.
+    ///
+    /// # Errors
+    /// [`CoalitionError::TooManyPlayers`] when the facility count exceeds
+    /// [`TableGame::MAX_PLAYERS`]; the scenario stays usable (the next
+    /// call retries) and the proportional/consumption benchmarks — which
+    /// never enumerate coalitions — keep working.
+    pub fn try_game(&self) -> Result<&TableGame, CoalitionError> {
+        if let Some(table) = self.table.get() {
+            return Ok(table);
+        }
+        let built = {
             let _span = fedval_obs::span_with("core.scenario.table_build", || {
                 format!("n={}", self.facilities.len())
             });
-            FederationGame::new(&self.facilities, &self.demand).table()
-        })
+            FederationGame::new(&self.facilities, &self.demand).try_table()?
+        };
+        Ok(self.table.get_or_init(|| built))
     }
 
     /// `V(S)` for an explicit coalition.
@@ -143,8 +191,15 @@ impl FederationScenario {
     }
 
     /// Normalized Shapley shares ϕ̂ (eq. 5).
+    ///
+    /// Runs on [`threads`](FederationScenario::threads) workers; the
+    /// result is bit-identical for every thread count.
     pub fn shapley_shares(&self) -> Vec<f64> {
-        sharing::shapley_hat_of(self.game())
+        if self.threads > 1 {
+            sharing::shapley_hat_of_parallel(self.game(), self.threads)
+        } else {
+            sharing::shapley_hat_of(self.game())
+        }
     }
 
     /// Proportional (contribution-based) shares π̂ (eq. 6).
@@ -258,5 +313,33 @@ mod tests {
         let a = s.game() as *const _;
         let b = s.game() as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threads_do_not_change_shares() {
+        let sequential = worked_example().shapley_shares();
+        for t in [2, 4, 8] {
+            let parallel = worked_example().with_threads(t).shapley_shares();
+            assert_eq!(sequential, parallel, "t={t} must be bit-identical");
+        }
+        // threads=0 is clamped to 1, not a panic.
+        assert_eq!(worked_example().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn try_game_rejects_oversized_federations() {
+        use crate::facility::Facility;
+        let facilities: Vec<Facility> = (0..26)
+            .map(|i| Facility::uniform(format!("f{i}"), i, 1, 1))
+            .collect();
+        let s = FederationScenario::new(
+            facilities,
+            Demand::one_experiment(ExperimentClass::simple("e", 1.0, 1.0)),
+        );
+        let err = s.try_game().expect_err("26 facilities must not materialize");
+        assert!(matches!(err, CoalitionError::TooManyPlayers { n: 26, .. }));
+        // Non-enumerating benchmarks keep working on the same scenario.
+        let pi = s.proportional_shares();
+        assert_eq!(pi.len(), 26);
     }
 }

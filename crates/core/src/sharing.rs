@@ -9,7 +9,7 @@ use crate::experiment::Demand;
 use crate::facility::Facility;
 use crate::location::{CapacityProfile, LocationOffer};
 use crate::value::FederationGame;
-use fedval_coalition::{nucleolus, shapley, CoalitionalGame, TableGame};
+use fedval_coalition::{nucleolus, shapley, shapley_parallel, CoalitionalGame, TableGame};
 
 /// Normalizes a non-negative vector to sum 1 (all zeros if the sum is ~0).
 pub fn normalized(raw: Vec<f64>) -> Vec<f64> {
@@ -55,6 +55,21 @@ pub fn shapley_hat_of(table: &TableGame) -> Vec<f64> {
         return vec![0.0; table.n_players()];
     }
     shapley(table).into_iter().map(|p| p / grand).collect()
+}
+
+/// Multi-threaded [`shapley_hat_of`]: shards players across `threads`
+/// workers via [`shapley_parallel`]. Bit-for-bit identical to the
+/// sequential result for every thread count (each player's value is
+/// computed by exactly one worker, with the same summation order).
+pub fn shapley_hat_of_parallel(table: &TableGame, threads: usize) -> Vec<f64> {
+    let grand = table.grand_value();
+    if grand.abs() < 1e-12 {
+        return vec![0.0; table.n_players()];
+    }
+    shapley_parallel(table, threads)
+        .into_iter()
+        .map(|p| p / grand)
+        .collect()
 }
 
 /// Nucleolus-based shares (the §3.2.3 alternative): the nucleolus

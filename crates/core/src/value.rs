@@ -8,7 +8,7 @@
 use crate::allocation::{solve, ProfileSolution, SolveError};
 use crate::experiment::Demand;
 use crate::facility::{coalition_profile, Facility};
-use fedval_coalition::{Coalition, CoalitionalGame, TableGame};
+use fedval_coalition::{Coalition, CoalitionError, CoalitionalGame, TableGame};
 
 /// The coalitional game induced by a set of facilities facing a demand
 /// profile (commercial scenario).
@@ -54,8 +54,27 @@ impl<'a> FederationGame<'a> {
     }
 
     /// Materializes all `2^n` coalition values into a [`TableGame`].
+    ///
+    /// # Panics
+    /// Panics where [`FederationGame::try_table`] would return an error
+    /// (more than [`TableGame::MAX_PLAYERS`] facilities).
     pub fn table(&self) -> TableGame {
-        TableGame::from_game(self)
+        match self.try_table() {
+            Ok(table) => table,
+            // lint: allow(no-panic-path) — documented `# Panics` convenience
+            // wrapper for the paper's n ≤ 3 scenarios; fallible callers use
+            // try_table.
+            Err(e) => panic!("FederationGame::table: {e}"),
+        }
+    }
+
+    /// Fallible form of [`FederationGame::table`].
+    ///
+    /// # Errors
+    /// [`CoalitionError::TooManyPlayers`](fedval_coalition::CoalitionError)
+    /// when the facility count exceeds what a dense table supports.
+    pub fn try_table(&self) -> Result<TableGame, CoalitionError> {
+        TableGame::try_from_game(self)
     }
 }
 

@@ -18,6 +18,10 @@
 //! * **Determinism split.** [`MetricsSnapshot`] is the timing-free view
 //!   (byte-identical across identical seeded runs); [`RunReport`] is the
 //!   timing-full view for humans and benches.
+//! * **Capture/replay.** Parallel coordinators divert each worker's
+//!   records into a thread-local buffer ([`capture`]) and [`replay`]
+//!   them in a scheduling-independent order, so traces and snapshots
+//!   stay deterministic regardless of thread count (DESIGN.md §9).
 //!
 //! ## Naming convention
 //!
@@ -56,8 +60,8 @@ mod snapshot;
 pub use histogram::{bucket_index, bucket_labels, Histogram, BUCKET_BOUNDS_NS, BUCKET_COUNT};
 pub use record::{escape_json, json_f64, Record};
 pub use registry::{
-    counter_add, event, flush, gauge_set, install, is_enabled, now_ns, observe_ns, shutdown, span,
-    span_with, time_ns, SpanGuard,
+    capture, counter_add, event, flush, gauge_set, install, is_enabled, now_ns, observe_ns, replay,
+    shutdown, span, span_with, time_ns, SpanGuard,
 };
 pub use report::{fmt_ns, RunReport, SpanStat};
 pub use sink::{FileSink, NullSink, RecordingSink, Sink, TeeSink};

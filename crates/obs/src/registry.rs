@@ -37,6 +37,10 @@ static ORIGIN: OnceLock<Instant> = OnceLock::new();
 thread_local! {
     /// Stack of open span ids on this thread (innermost last).
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+
+    /// When set, records emitted on this thread are diverted into the
+    /// buffer instead of the installed sink (see [`capture`]).
+    static CAPTURE_BUFFER: RefCell<Option<Vec<Record>>> = const { RefCell::new(None) };
 }
 
 /// Nanoseconds since the process-wide monotonic origin.
@@ -121,8 +125,82 @@ fn current_sink() -> Option<Arc<dyn Sink>> {
 }
 
 fn emit(r: Record) {
+    // An active capture scope on this thread intercepts the record before
+    // it reaches the sink; `push_local` hands it back when none is active.
+    let Some(r) = push_local(r) else {
+        return;
+    };
     if let Some(sink) = current_sink() {
         sink.record(&r);
+    }
+}
+
+/// Appends `r` to this thread's capture buffer if one is active, returning
+/// the record back to the caller otherwise.
+fn push_local(r: Record) -> Option<Record> {
+    CAPTURE_BUFFER.with(|buffer| {
+        // try_borrow_mut: a sink emitting from inside a capture hand-off
+        // (none do today) must fall through to the sink, not panic.
+        match buffer.try_borrow_mut() {
+            Ok(mut guard) => match guard.as_mut() {
+                Some(buf) => {
+                    buf.push(r);
+                    None
+                }
+                None => Some(r),
+            },
+            Err(_) => Some(r),
+        }
+    })
+}
+
+/// Restores the previous capture state on drop, so a panic inside a
+/// [`capture`] closure cannot leave the thread diverting records forever.
+struct CaptureRestore {
+    previous: Option<Vec<Record>>,
+}
+
+impl Drop for CaptureRestore {
+    fn drop(&mut self) {
+        CAPTURE_BUFFER.with(|buffer| {
+            *buffer.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Runs `f` with every record emitted *on this thread* diverted into a
+/// local buffer, returned alongside `f`'s result.
+///
+/// This is the building block for deterministic parallel execution: each
+/// worker captures its own records, and the coordinator [`replay`]s the
+/// buffers in a scheduling-independent order (e.g. sweep-point input
+/// order), so the record stream the sink sees does not depend on thread
+/// interleaving. Capture scopes nest; records emitted by *other* threads
+/// during the scope are not captured. With no sink installed this is
+/// exactly `f()` plus one atomic load, and the buffer comes back empty.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<Record>) {
+    if !is_enabled() {
+        return (f(), Vec::new());
+    }
+    let previous = CAPTURE_BUFFER.with(|buffer| buffer.replace(Some(Vec::new())));
+    let mut restore = CaptureRestore { previous };
+    let out = f();
+    let captured = CAPTURE_BUFFER.with(|buffer| buffer.replace(restore.previous.take()));
+    // State restored by hand just above — the guard only exists for the
+    // unwind path, so its Drop (which would clobber the buffer with None)
+    // must not run.
+    std::mem::forget(restore);
+    (out, captured.unwrap_or_default())
+}
+
+/// Forwards previously [`capture`]d records to the installed sink (or to
+/// the enclosing capture scope, when replaying inside one), in order.
+pub fn replay<I: IntoIterator<Item = Record>>(records: I) {
+    if !is_enabled() {
+        return;
+    }
+    for r in records {
+        emit(r);
     }
 }
 

@@ -26,6 +26,9 @@ fn registry_scenarios() {
     lazy_closures_not_invoked_when_disabled();
     spans_open_across_shutdown_are_harmless();
     threads_get_independent_span_stacks();
+    capture_diverts_this_thread_only_and_replay_forwards();
+    capture_scopes_nest_and_survive_unwind();
+    capture_when_disabled_is_free();
 }
 
 fn nesting_links_parents() {
@@ -131,6 +134,81 @@ fn spans_open_across_shutdown_are_harmless() {
         let _s = fedval_obs::span("t.shutdown.fresh");
     });
     assert_eq!(MetricsSnapshot::from_records(&records).spans("t.shutdown.fresh"), 1);
+}
+
+fn capture_diverts_this_thread_only_and_replay_forwards() {
+    let records = with_fresh_sink(|| {
+        fedval_obs::counter_add("t.capture.before", 1);
+        let ((), captured) = fedval_obs::capture(|| {
+            let _span = fedval_obs::span("t.capture.inner");
+            fedval_obs::counter_add("t.capture.diverted", 2);
+            // Records emitted on OTHER threads during the scope go
+            // straight to the sink, not into this thread's buffer.
+            std::thread::spawn(|| fedval_obs::counter_add("t.capture.other_thread", 1))
+                .join()
+                .expect("emitting thread panicked");
+        });
+        // Nothing from the captured closure reached the sink yet.
+        assert_eq!(captured.len(), 3, "span start+end and one counter: {captured:?}");
+        fedval_obs::replay(captured);
+    });
+    let snap = MetricsSnapshot::from_records(&records);
+    assert_eq!(snap.counter("t.capture.before"), 1);
+    assert_eq!(snap.counter("t.capture.diverted"), 2);
+    assert_eq!(snap.counter("t.capture.other_thread"), 1);
+    assert_eq!(snap.spans("t.capture.inner"), 1);
+    // Replay happened after the other-thread counter (buffered records
+    // are forwarded when the coordinator chooses, not when emitted).
+    let names: Vec<&str> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Counter { .. }))
+        .map(|r| r.name())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["t.capture.before", "t.capture.other_thread", "t.capture.diverted"]
+    );
+}
+
+fn capture_scopes_nest_and_survive_unwind() {
+    let records = with_fresh_sink(|| {
+        let ((), outer) = fedval_obs::capture(|| {
+            fedval_obs::counter_add("t.nestcap.outer", 1);
+            let ((), inner) = fedval_obs::capture(|| {
+                fedval_obs::counter_add("t.nestcap.inner", 1);
+            });
+            assert_eq!(inner.len(), 1);
+            // Replaying inside a capture scope lands in that scope.
+            fedval_obs::replay(inner);
+        });
+        assert_eq!(outer.len(), 2, "{outer:?}");
+
+        // A panic inside a capture must restore direct emission.
+        let unwound = std::panic::catch_unwind(|| {
+            fedval_obs::capture(|| -> () { panic!("boom inside capture") })
+        });
+        assert!(unwound.is_err());
+        fedval_obs::counter_add("t.nestcap.after_panic", 1);
+        fedval_obs::replay(outer);
+    });
+    let snap = MetricsSnapshot::from_records(&records);
+    assert_eq!(snap.counter("t.nestcap.outer"), 1);
+    assert_eq!(snap.counter("t.nestcap.inner"), 1);
+    assert_eq!(
+        snap.counter("t.nestcap.after_panic"),
+        1,
+        "captures must not stay active after an unwind"
+    );
+}
+
+fn capture_when_disabled_is_free() {
+    assert!(!fedval_obs::is_enabled());
+    let (out, captured) = fedval_obs::capture(|| {
+        fedval_obs::counter_add("t.offcap.count", 1);
+        7
+    });
+    assert_eq!(out, 7);
+    assert!(captured.is_empty(), "disabled capture must record nothing");
 }
 
 fn threads_get_independent_span_stacks() {

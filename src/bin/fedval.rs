@@ -30,6 +30,7 @@ struct Options {
     shape: f64,
     volume: Option<u64>, // None = capacity-filling
     scheme: String,
+    threads: usize,
     trace: Option<String>,
     metrics: bool,
 }
@@ -46,6 +47,8 @@ fn usage() -> &'static str {
                                 'fill' for capacity-filling demand\n\
        --scheme     name        shapley|proportional|consumption|\n\
                                 nucleolus|equal          (default shapley)\n\
+       --threads    N           worker threads for the Shapley pass\n\
+                                (default 1; any N gives identical shares)\n\
        --trace      path        write a JSONL observability trace (spans,\n\
                                 counters, events) to this file\n\
        --metrics                print the run report (per-phase timings,\n\
@@ -61,6 +64,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         shape: 1.0,
         volume: Some(1),
         scheme: "shapley".to_string(),
+        threads: 1,
         trace: None,
         metrics: false,
     };
@@ -108,6 +112,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--scheme" => {
                 opts.scheme = value.clone();
             }
+            "--threads" => {
+                let n: usize = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = n;
+            }
             "--trace" => {
                 opts.trace = Some(value.clone());
             }
@@ -145,7 +156,7 @@ fn build_scenario(opts: &Options) -> FederationScenario {
         Some(k) => Demand::single(class, Volume::Count(k)),
         None => Demand::capacity_filling(class),
     };
-    FederationScenario::new(facilities, demand)
+    FederationScenario::new(facilities, demand).with_threads(opts.threads)
 }
 
 fn scheme_from_name(name: &str) -> Result<SharingScheme, String> {
@@ -325,5 +336,23 @@ mod tests {
     fn capacity_default_matches_facility_count() {
         let opts = parse(&args(&["values", "--locations", "5,6,7,8"])).unwrap();
         assert_eq!(opts.capacities, vec![1; 4]);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        assert_eq!(parse(&args(&["shares"])).unwrap().threads, 1);
+        let opts = parse(&args(&["shares", "--threads", "4"])).unwrap();
+        assert_eq!(opts.threads, 4);
+        assert!(parse(&args(&["shares", "--threads", "0"])).is_err());
+        assert!(parse(&args(&["shares", "--threads", "x"])).is_err());
+        assert!(parse(&args(&["shares", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn threads_do_not_change_cli_shares() {
+        let sequential = build_scenario(&parse(&args(&["shares"])).unwrap());
+        let parallel =
+            build_scenario(&parse(&args(&["shares", "--threads", "4"])).unwrap());
+        assert_eq!(sequential.shapley_shares(), parallel.shapley_shares());
     }
 }
