@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 gate + panic-discipline lint + fedval-lint static analysis.
 #
-#   ./ci.sh            build, test, clippy, fedval-lint
+#   ./ci.sh            build, test, clippy, bench --check, sweep
+#                      invariance, serve smoke, fedval-lint
 #
 # The clippy stage enforces the no-panic rule on every crate's non-test
 # lib code: unwrap()/expect() are denied workspace-wide (tests are exempt —
@@ -22,7 +23,7 @@ cargo test -q --workspace
 echo "== clippy panic-discipline (all crates, lib targets only)"
 for crate in fedval-simplex fedval-core fedval-coalition fedval-desim \
              fedval-testbed fedval-market fedval-policy fedval-bench \
-             fedval-lint fedval-obs; do
+             fedval-lint fedval-obs fedval-serve; do
     echo "--  $crate"
     cargo clippy -q -p "$crate" --lib --release -- \
         -D clippy::unwrap_used \
@@ -40,7 +41,7 @@ fi
 
 echo "== sweep thread-invariance (repro --csv at --threads 1 vs 4)"
 sweep_tmp=$(mktemp -d)
-trap 'rm -rf "$sweep_tmp"' EXIT
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}"' EXIT
 mkdir -p "$sweep_tmp/t1" "$sweep_tmp/t4"
 cargo run -q -p fedval-bench --release --bin repro -- all \
     --csv "$sweep_tmp/t1" --threads 1 > /dev/null
@@ -51,6 +52,44 @@ if ! diff -r "$sweep_tmp/t1" "$sweep_tmp/t4"; then
     echo "ci.sh: figure data differs between --threads 1 and --threads 4."
     echo "The sweep engine's determinism contract (DESIGN.md section 9) is"
     echo "broken: results must merge in input order, independent of scheduling."
+    exit 1
+fi
+
+echo "== fedval-serve smoke (loopback daemon + deterministic fedload)"
+smoke_tmp=$(mktemp -d)
+./target/release/fedval-serve --addr 127.0.0.1:0 --warm \
+    > "$smoke_tmp/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci.sh: fedval-serve did not come up; log:"
+    cat "$smoke_tmp/serve.log"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/fedload --addr "$addr" --connections 2 --requests 2000 \
+        --kind mixed --seed 7 --out "$smoke_tmp/BENCH_serve_smoke.json" --shutdown; then
+    echo ""
+    echo "ci.sh: fedload failed — protocol errors or byte-identical-response"
+    echo "mismatches against the live server (see report above)."
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$serve_pid"; then
+    echo ""
+    echo "ci.sh: fedval-serve exited nonzero — the drain abandoned queued work."
+    cat "$smoke_tmp/serve.log"
+    exit 1
+fi
+if ! grep -q "protocol_errors=0" "$smoke_tmp/serve.log"; then
+    echo ""
+    echo "ci.sh: server-side drain summary reports protocol errors:"
+    cat "$smoke_tmp/serve.log"
     exit 1
 fi
 

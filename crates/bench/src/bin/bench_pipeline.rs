@@ -308,8 +308,10 @@ fn render_json(report: &RunReport, sweep: &SweepSummary) -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
-    // Worker count for the parallel sweep leg. Default 4: the committed
-    // deterministic section proves threads=1 vs threads=4 equality.
+    // Worker count for the parallel sweep leg. Defaults to the
+    // available hardware parallelism (floor 1); the committed
+    // deterministic section is identical for any count, and the run
+    // always diffs a threads=1 sweep against this one to prove it.
     let threads = match args.iter().position(|a| a == "--threads") {
         Some(pos) => match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => n,
@@ -318,7 +320,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => 4,
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
     };
     let (report, sweep) = run_pipeline(threads);
     let path = bench_path();

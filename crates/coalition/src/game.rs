@@ -223,6 +223,48 @@ impl<G: CoalitionalGame> CachedGame<G> {
         self.inner
     }
 
+    /// Evaluates **every** coalition of the game, populating the memo
+    /// table so later callers always hit. `threads > 1` shards the
+    /// `2^n` evaluations across scoped workers; the single-flight
+    /// machinery already makes concurrent misses safe, so workers need
+    /// no extra coordination. Returns the number of coalitions cached
+    /// afterwards (always `2^n`).
+    ///
+    /// This is the warm-up path of long-lived services (`fedval-serve`
+    /// pre-warms its scenario cache at startup so the first client
+    /// request is as fast as the millionth).
+    pub fn prewarm(&self, threads: usize) -> usize {
+        let n = self.inner.n_players();
+        let total: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let threads = threads.max(1).min(n.max(1) * 8);
+        let _span = fedval_obs::span_with("coalition.cache.prewarm", || {
+            format!("n={n} threads={threads}")
+        });
+        if threads == 1 {
+            for c in Coalition::all(n) {
+                let _ = self.value(c);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    scope.spawn(move || {
+                        // Strided sharding: worker t evaluates masks
+                        // t, t+threads, t+2·threads, …
+                        let mut mask = t as u64;
+                        while mask <= total {
+                            let _ = self.value(Coalition(mask));
+                            match mask.checked_add(threads as u64) {
+                                Some(next) => mask = next,
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        self.cached_len()
+    }
+
     fn lock_cache(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
         match self.cache.lock() {
             Ok(guard) => guard,
@@ -478,6 +520,27 @@ mod tests {
             "inner evaluations must equal distinct coalitions (single-flight)"
         );
         assert_eq!(cached.cached_len(), 1 << N);
+    }
+
+    /// Pre-warming fills the cache completely (sequential and sharded
+    /// paths agree), and warm lookups never re-enter the inner game.
+    #[test]
+    fn prewarm_fills_the_cache_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 4] {
+            let evals = AtomicUsize::new(0);
+            let cached = CachedGame::new(FnGame::new(6, |c: Coalition| {
+                evals.fetch_add(1, Ordering::SeqCst);
+                c.len() as f64
+            }));
+            assert_eq!(cached.prewarm(threads), 1 << 6, "threads={threads}");
+            assert_eq!(evals.load(Ordering::SeqCst), 1 << 6);
+            // Every post-warm read is a pure cache hit.
+            for c in Coalition::all(6) {
+                assert_eq!(cached.value(c), c.len() as f64);
+            }
+            assert_eq!(evals.load(Ordering::SeqCst), 1 << 6);
+        }
     }
 
     /// A panicking inner evaluation must clean up its Pending sentinel so

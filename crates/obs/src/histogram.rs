@@ -93,6 +93,66 @@ impl Histogram {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The `p`-th percentile (0 < p ≤ 100) estimated from the decade
+    /// buckets, in nanoseconds. Returns 0 when the histogram is empty.
+    ///
+    /// Interpolation rule (the one number everything downstream quotes,
+    /// so it is spelled out): the percentile *rank* is
+    /// `r = ceil(p/100 · count)` (nearest-rank, 1-based). Buckets are
+    /// walked in order until the cumulative count reaches `r`; within
+    /// the containing bucket the estimate interpolates **linearly by
+    /// rank position** between the bucket's lower and upper bound
+    /// (lower = previous bound, 0 for the first bucket; upper = the
+    /// bucket's inclusive bound). The overflow bucket (`>10s`) has no
+    /// upper bound and reports `max_ns`. The final estimate is clamped
+    /// to the exactly-tracked `[min_ns, max_ns]` envelope, so
+    /// single-observation histograms report that observation exactly
+    /// and no percentile can leave the observed range.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 || !p.is_finite() || p <= 0.0 {
+            return 0;
+        }
+        let p = p.min(100.0);
+        // Nearest-rank, 1-based: the smallest r with r/count >= p/100.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let estimate = if i == BUCKET_BOUNDS_NS.len() {
+                    // Overflow bucket: unbounded above, report the exact max.
+                    self.max_ns
+                } else {
+                    let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                    let upper = BUCKET_BOUNDS_NS[i];
+                    // Rank position within this bucket, in (0, 1].
+                    let frac = (rank - seen) as f64 / n as f64;
+                    lower + ((upper - lower) as f64 * frac) as u64
+                };
+                return estimate.clamp(self.min_ns, self.max_ns);
+            }
+            seen += n;
+        }
+        self.max_ns
+    }
+
+    /// Median estimate, ns (see [`Histogram::percentile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 95th-percentile estimate, ns (see [`Histogram::percentile_ns`]).
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// 99th-percentile estimate, ns (see [`Histogram::percentile_ns`]).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
     /// One-line textual rendering of the non-empty buckets, e.g.
     /// `"<=10us:3 <=100us:1"`. Empty histogram renders as `"(empty)"`.
     pub fn render_buckets(&self) -> String {
@@ -151,6 +211,80 @@ mod tests {
         assert_eq!(h.mean_ns(), 800);
         assert_eq!(h.buckets[0], 2);
         assert_eq!(h.buckets[1], 1);
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_ns(50.0), 0);
+        assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn single_observation_reports_itself_at_every_percentile() {
+        let mut h = Histogram::new();
+        h.observe(7_300);
+        // The [min, max] clamp makes every percentile exact here.
+        assert_eq!(h.p50_ns(), 7_300);
+        assert_eq!(h.p95_ns(), 7_300);
+        assert_eq!(h.p99_ns(), 7_300);
+        assert_eq!(h.percentile_ns(1.0), 7_300);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_by_nearest_rank() {
+        let mut h = Histogram::new();
+        // 90 observations in <=1us, 10 in (1us, 10us].
+        for _ in 0..90 {
+            h.observe(500);
+        }
+        for _ in 0..10 {
+            h.observe(5_000);
+        }
+        // rank(50) = 50 → bucket 0, frac 50/90: 0 + 1000·(50/90) = 555.
+        assert_eq!(h.p50_ns(), 555);
+        // rank(95) = 95 → bucket 1 (5 of 10 into it): 1000 + 9000·0.5 = 5500,
+        // clamped to max = 5000.
+        assert_eq!(h.p95_ns(), 5_000);
+        // rank(99) = 99 → bucket 1, frac 9/10: 1000 + 9000·0.9 = 9100,
+        // clamped to max = 5000.
+        assert_eq!(h.p99_ns(), 5_000);
+    }
+
+    #[test]
+    fn interpolation_is_linear_in_rank_within_a_bucket() {
+        let mut h = Histogram::new();
+        // 4 observations, all in the (1us, 10us] bucket.
+        for v in [2_000, 4_000, 6_000, 8_000] {
+            h.observe(v);
+        }
+        // rank(25) = 1 → 1000 + 9000·(1/4) = 3250.
+        assert_eq!(h.percentile_ns(25.0), 3_250);
+        // rank(75) = 3 → 1000 + 9000·(3/4) = 7750.
+        assert_eq!(h.percentile_ns(75.0), 7_750);
+        // rank(100) = 4 → upper bound 10000, clamped to max 8000.
+        assert_eq!(h.percentile_ns(100.0), 8_000);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let mut h = Histogram::new();
+        h.observe(100);
+        h.observe(20_000_000_000); // >10s
+        assert_eq!(h.p99_ns(), 20_000_000_000);
+        // rank(50) = 1 → bucket 0, frac 1/1 → upper bound 1000 (the decade
+        // resolution limit), still inside the [min, max] envelope.
+        assert_eq!(h.p50_ns(), 1_000);
+    }
+
+    #[test]
+    fn out_of_range_p_is_defensive() {
+        let mut h = Histogram::new();
+        h.observe(42);
+        assert_eq!(h.percentile_ns(0.0), 0);
+        assert_eq!(h.percentile_ns(-3.0), 0);
+        assert_eq!(h.percentile_ns(f64::NAN), 0);
+        assert_eq!(h.percentile_ns(250.0), 42, "p > 100 saturates to p100");
     }
 
     #[test]

@@ -152,9 +152,12 @@ impl RunReport {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{name:width$}  count={:<6} mean={:<10} max={:<10} {}",
+                    "{name:width$}  count={:<6} mean={:<10} p50={:<10} p95={:<10} p99={:<10} max={:<10} {}",
                     h.count,
                     fmt_ns(h.mean_ns()),
+                    fmt_ns(h.p50_ns()),
+                    fmt_ns(h.p95_ns()),
+                    fmt_ns(h.p99_ns()),
                     fmt_ns(h.max_ns),
                     h.render_buckets(),
                 );

@@ -1,0 +1,446 @@
+//! `fedload` — a seeded, deterministic closed-loop load generator for
+//! `fedval-serve`.
+//!
+//! Opens `--connections` TCP connections, each driving `--requests`
+//! queries back-to-back (closed loop: the next request is sent only
+//! after the previous response arrives). The query stream is drawn from
+//! a seeded xorshift generator, so two runs with the same seed issue
+//! the same requests in the same order. Every response is validated:
+//!
+//! * it must parse as a response to the id we sent;
+//! * `ok:false` with `BUSY`/`DEADLINE` is counted (expected under
+//!   saturation) but protocol errors are fatal to the run's exit code;
+//! * the first `shapley` response body is memoized and every later
+//!   `shapley` response must be **byte-identical** — the server's
+//!   determinism contract, checked from outside the process.
+//!
+//! Latencies feed a [`fedval_obs::Histogram`]; the run report quotes
+//! p50/p95/p99 through the histogram's documented nearest-rank
+//! interpolation and lands in `--out` as JSON (BENCH_serve.json in CI).
+//!
+//! ```text
+//! fedload --addr 127.0.0.1:7411 --connections 4 --requests 5000 \
+//!         --kind shapley --seed 42 --out BENCH_serve.json --shutdown
+//! ```
+
+use fedval_obs::Histogram;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Options {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    kind: String,
+    seed: u64,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fedload --addr HOST:PORT [options]\n\
+     \n\
+     options:\n\
+       --addr HOST:PORT      server to drive (required)\n\
+       --connections N       concurrent closed-loop connections (default 2)\n\
+       --requests N          requests per connection          (default 1000)\n\
+       --kind K              shapley|nucleolus|coalition-value|what-if|mixed\n\
+                             (default shapley)\n\
+       --seed S              xorshift seed for the query stream (default 42)\n\
+       --out PATH            write the JSON report here (e.g. BENCH_serve.json)\n\
+       --shutdown            send a shutdown query when the run completes\n"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 2,
+        requests: 1000,
+        kind: "shapley".to_string(),
+        seed: 42,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--shutdown" {
+            opts.shutdown = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => opts.addr = value.clone(),
+            "--connections" => {
+                let n: usize = value.parse().map_err(|e| format!("--connections: {e}"))?;
+                if n == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+                opts.connections = n;
+            }
+            "--requests" => {
+                opts.requests = value.parse().map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--kind" => {
+                if !matches!(
+                    value.as_str(),
+                    "shapley" | "nucleolus" | "coalition-value" | "what-if" | "mixed"
+                ) {
+                    return Err(format!("--kind: unknown kind '{value}'\n\n{}", usage()));
+                }
+                opts.kind = value.clone();
+            }
+            "--out" => opts.out = Some(value.clone()),
+            other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+/// xorshift64* — tiny, seeded, deterministic; no external RNG dep.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Renders the `i`-th request line for this connection's stream.
+fn request_line(kind: &str, id: u64, rng: &mut XorShift) -> String {
+    let concrete = match kind {
+        "mixed" => match rng.next() % 4 {
+            0 => "shapley",
+            1 => "nucleolus",
+            2 => "coalition-value",
+            _ => "what-if",
+        },
+        k => k,
+    };
+    match concrete {
+        "coalition-value" => {
+            // Non-empty subsets of the 3-player worked example.
+            let mask = 1 + (rng.next() % 7);
+            let members: Vec<String> = (0..3)
+                .filter(|p| mask & (1 << p) != 0)
+                .map(|p: u64| p.to_string())
+                .collect();
+            format!(
+                "{{\"id\":{id},\"kind\":\"coalition-value\",\"coalition\":[{}]}}",
+                members.join(",")
+            )
+        }
+        "what-if" => {
+            // A small rotating pool so the bounded LRU sees hits.
+            if rng.next() % 2 == 0 {
+                let locations = 100 * (1 + rng.next() % 8);
+                format!(
+                    "{{\"id\":{id},\"kind\":\"what-if-join\",\"locations\":{locations},\"capacity\":1}}"
+                )
+            } else {
+                let player = rng.next() % 3;
+                format!("{{\"id\":{id},\"kind\":\"what-if-leave\",\"player\":{player}}}")
+            }
+        }
+        other => format!("{{\"id\":{id},\"kind\":\"{other}\"}}"),
+    }
+}
+
+/// Tally from one connection's closed loop.
+#[derive(Debug, Default)]
+struct ConnReport {
+    ok: u64,
+    busy: u64,
+    deadline: u64,
+    protocol_errors: u64,
+    mismatches: u64,
+    histogram: Histogram,
+}
+
+/// Strips the `{"id":N,` prefix so determinism is compared on the
+/// response *body* (ids differ across connections by construction).
+fn body_of(line: &str) -> &str {
+    match line.find(",\"ok\":") {
+        Some(pos) => &line[pos..],
+        None => line,
+    }
+}
+
+fn drive_connection(
+    opts: &Options,
+    conn_index: usize,
+    canonical_shapley: &Arc<OnceLock<String>>,
+) -> Result<ConnReport, String> {
+    let stream = TcpStream::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut rng = XorShift::new(opts.seed.wrapping_add(conn_index as u64).wrapping_mul(0x9E37_79B9));
+    let mut report = ConnReport::default();
+    let mut line = String::new();
+    for i in 0..opts.requests {
+        let id = (conn_index * opts.requests + i) as u64;
+        let request = request_line(&opts.kind, id, &mut rng);
+        let started = Instant::now();
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-run".to_string());
+        }
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        report.histogram.observe(elapsed_ns);
+        let trimmed = line.trim_end();
+
+        let expected_id = format!("{{\"id\":{id},");
+        if !trimmed.starts_with(&expected_id) {
+            report.mismatches += 1;
+            continue;
+        }
+        if trimmed.contains("\"ok\":true") {
+            report.ok += 1;
+            if request.contains("\"kind\":\"shapley\"") {
+                let body = body_of(trimmed).to_string();
+                let canonical = canonical_shapley.get_or_init(|| body.clone());
+                if *canonical != body {
+                    report.mismatches += 1;
+                }
+            }
+        } else if trimmed.contains("\"error\":\"BUSY\"") {
+            report.busy += 1;
+        } else if trimmed.contains("\"error\":\"DEADLINE\"") {
+            report.deadline += 1;
+        } else {
+            // Any other failure (protocol error, SOLVE_FAILED, …) is a
+            // correctness problem for this deterministic workload.
+            report.protocol_errors += 1;
+        }
+    }
+    Ok(report)
+}
+
+fn send_shutdown(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writer
+        .write_all(b"{\"id\":0,\"kind\":\"shutdown\"}\n")
+        .map_err(|e| format!("send shutdown: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    if line.contains("\"draining\":true") {
+        Ok(())
+    } else {
+        Err(format!("unexpected shutdown response: {}", line.trim_end()))
+    }
+}
+
+fn render_report(opts: &Options, total: &ConnReport, wall: Duration) -> String {
+    let h = &total.histogram;
+    let issued = total.ok + total.busy + total.deadline + total.protocol_errors + total.mismatches;
+    let secs = wall.as_secs_f64();
+    let rps = if secs > 0.0 { issued as f64 / secs } else { 0.0 };
+    format!(
+        "{{\n  \"kind\": \"{}\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"seed\": {},\n  \"issued\": {},\n  \"ok\": {},\n  \"busy\": {},\n  \"deadline\": {},\n  \"protocol_errors\": {},\n  \"mismatches\": {},\n  \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"latency_ns\": {{\n    \"mean\": {},\n    \"p50\": {},\n    \"p95\": {},\n    \"p99\": {},\n    \"max\": {}\n  }}\n}}",
+        opts.kind,
+        opts.connections,
+        opts.requests,
+        opts.seed,
+        issued,
+        total.ok,
+        total.busy,
+        total.deadline,
+        total.protocol_errors,
+        total.mismatches,
+        fedval_obs::json_f64(secs),
+        fedval_obs::json_f64(rps),
+        h.mean_ns(),
+        h.p50_ns(),
+        h.p95_ns(),
+        h.p99_ns(),
+        h.max_ns,
+    )
+}
+
+fn merge(total: &mut ConnReport, part: &ConnReport) {
+    total.ok += part.ok;
+    total.busy += part.busy;
+    total.deadline += part.deadline;
+    total.protocol_errors += part.protocol_errors;
+    total.mismatches += part.mismatches;
+    for (i, &n) in part.histogram.buckets.iter().enumerate() {
+        total.histogram.buckets[i] += n;
+    }
+    if part.histogram.count > 0 {
+        if total.histogram.count == 0 || part.histogram.min_ns < total.histogram.min_ns {
+            total.histogram.min_ns = part.histogram.min_ns;
+        }
+        if part.histogram.max_ns > total.histogram.max_ns {
+            total.histogram.max_ns = part.histogram.max_ns;
+        }
+        total.histogram.count += part.histogram.count;
+        total.histogram.sum_ns = total.histogram.sum_ns.saturating_add(part.histogram.sum_ns);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse(&args)?;
+
+    let canonical_shapley: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for conn_index in 0..opts.connections {
+        let opts = opts.clone();
+        let canonical = Arc::clone(&canonical_shapley);
+        let failures = Arc::clone(&failures);
+        handles.push(std::thread::spawn(move || {
+            match drive_connection(&opts, conn_index, &canonical) {
+                Ok(report) => Some(report),
+                Err(message) => {
+                    if let Ok(mut sink) = failures.lock() {
+                        sink.push(format!("connection {conn_index}: {message}"));
+                    }
+                    None
+                }
+            }
+        }));
+    }
+    let mut total = ConnReport::default();
+    for handle in handles {
+        if let Ok(Some(part)) = handle.join() {
+            merge(&mut total, &part);
+        }
+    }
+    let wall = started.elapsed();
+
+    if opts.shutdown {
+        send_shutdown(&opts.addr)?;
+    }
+
+    let report = render_report(&opts, &total, wall);
+    println!("{report}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("--out {path}: {e}"))?;
+    }
+
+    let failures = failures.lock().map(|f| f.clone()).unwrap_or_default();
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+    if total.protocol_errors > 0 || total.mismatches > 0 {
+        return Err(format!(
+            "correctness failures: {} protocol errors, {} mismatches",
+            total.protocol_errors, total.mismatches
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let opts = parse(&args(&[
+            "--addr",
+            "127.0.0.1:9",
+            "--connections",
+            "4",
+            "--requests",
+            "10",
+            "--kind",
+            "mixed",
+            "--seed",
+            "7",
+            "--out",
+            "report.json",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:9");
+        assert_eq!(opts.connections, 4);
+        assert_eq!(opts.requests, 10);
+        assert_eq!(opts.kind, "mixed");
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.out.as_deref(), Some("report.json"));
+        assert!(opts.shutdown);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args(&[])).is_err(), "--addr is required");
+        assert!(parse(&args(&["--addr", "x", "--connections", "0"])).is_err());
+        assert!(parse(&args(&["--addr", "x", "--kind", "venetian"])).is_err());
+        assert!(parse(&args(&["--addr"])).is_err());
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_per_seed() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for id in 0..50 {
+            assert_eq!(
+                request_line("mixed", id, &mut a),
+                request_line("mixed", id, &mut b)
+            );
+        }
+        let mut c = XorShift::new(43);
+        let stream_a: Vec<String> = (0..50)
+            .map(|id| request_line("mixed", id, &mut XorShift::new(42 + id)))
+            .collect();
+        let stream_c: Vec<String> = (0..50).map(|id| request_line("mixed", id, &mut c)).collect();
+        assert_ne!(stream_a, stream_c, "different seeds, different streams");
+    }
+
+    #[test]
+    fn body_of_strips_the_id() {
+        let a = "{\"id\":1,\"ok\":true,\"kind\":\"shapley\"}";
+        let b = "{\"id\":9,\"ok\":true,\"kind\":\"shapley\"}";
+        assert_eq!(body_of(a), body_of(b));
+        assert_eq!(body_of("garbage"), "garbage");
+    }
+}

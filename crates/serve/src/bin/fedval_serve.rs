@@ -1,0 +1,288 @@
+//! `fedval-serve` — the online policy-query daemon.
+//!
+//! Loads a federation scenario, optionally pre-warms every cache layer
+//! (all `2^n` coalition values plus the ϕ̂ and nucleolus share
+//! payloads), then serves newline-framed queries over TCP until a
+//! `shutdown` query arrives:
+//!
+//! ```text
+//! fedval-serve --addr 127.0.0.1:7411 --warm
+//! fedval-serve --addr 127.0.0.1:0 --threads 2 --queue-depth 256 \
+//!              --deadline-ms 500 --locations 100,400,800 --threshold 500
+//! ```
+//!
+//! The daemon prints `listening on ADDR` once it is ready (with the
+//! real port when `:0` was requested — scripts parse this line), and a
+//! drain summary when it exits. Exit code 0 means a clean drain.
+
+use fedval_serve::state::ScenarioSpec;
+use fedval_serve::{Server, ServerConfig, ServeState};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Options {
+    addr: String,
+    threads: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    warm: bool,
+    whatif_cache: usize,
+    spec: ScenarioSpec,
+    trace: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: fedval-serve [options]\n\
+     \n\
+     server options:\n\
+       --addr ADDR              bind address            (default 127.0.0.1:7411;\n\
+                                use port 0 for an ephemeral port)\n\
+       --threads N              worker threads          (default: available\n\
+                                hardware parallelism)\n\
+       --queue-depth N          bounded request queue; full => BUSY\n\
+                                (default 1024)\n\
+       --deadline-ms MS         per-request queue deadline (default 2000)\n\
+       --warm                   pre-warm all 2^n coalition values and the\n\
+                                shapley/nucleolus payloads before listening\n\
+       --whatif-cache N         bounded LRU of derived what-if scenarios\n\
+                                (default 64)\n\
+       --trace PATH             write a JSONL observability trace\n\
+     \n\
+     scenario options (defaults reproduce the paper's §4.1 example):\n\
+       --locations L1,L2,...    locations per facility  (default 100,400,800)\n\
+       --capacities R1,R2,...   capacity per location   (default 1,1,...)\n\
+       --threshold l            diversity threshold     (default 500)\n\
+       --shape d                utility exponent        (default 1)\n\
+       --volume K               experiments; 'fill' for capacity-filling\n"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7411".to_string(),
+        threads: fedval_serve::server::available_threads(),
+        queue_depth: 1024,
+        deadline_ms: 2_000,
+        warm: false,
+        whatif_cache: 64,
+        spec: ScenarioSpec::paper_4_1(),
+        trace: None,
+    };
+    opts.spec.capacities = Vec::new(); // re-defaulted below to match --locations
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--warm" {
+            opts.warm = true;
+            continue;
+        }
+        if flag == "--help" || flag == "-h" {
+            return Err(usage().to_string());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => opts.addr = value.clone(),
+            "--threads" => {
+                let n: usize = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = n;
+            }
+            "--queue-depth" => {
+                let n: usize = value.parse().map_err(|e| format!("--queue-depth: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-depth must be at least 1".to_string());
+                }
+                opts.queue_depth = n;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--whatif-cache" => {
+                opts.whatif_cache = value.parse().map_err(|e| format!("--whatif-cache: {e}"))?;
+            }
+            "--locations" => {
+                opts.spec.locations = value
+                    .split(',')
+                    .map(|v| v.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--locations: {e}"))?;
+            }
+            "--capacities" => {
+                opts.spec.capacities = value
+                    .split(',')
+                    .map(|v| v.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--capacities: {e}"))?;
+            }
+            "--threshold" => {
+                opts.spec.threshold =
+                    value.parse().map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--shape" => {
+                opts.spec.shape = value.parse().map_err(|e| format!("--shape: {e}"))?;
+            }
+            "--volume" => {
+                opts.spec.volume = if value == "fill" {
+                    None
+                } else {
+                    Some(value.parse().map_err(|e| format!("--volume: {e}"))?)
+                };
+            }
+            "--trace" => opts.trace = Some(value.clone()),
+            other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
+        }
+    }
+    if opts.spec.locations.is_empty() || opts.spec.locations.len() > 12 {
+        return Err("need between 1 and 12 facilities".to_string());
+    }
+    if opts.spec.capacities.is_empty() {
+        opts.spec.capacities = vec![1; opts.spec.locations.len()];
+    }
+    if opts.spec.capacities.len() != opts.spec.locations.len() {
+        return Err("--capacities must match --locations in length".to_string());
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse(&args)?;
+
+    if let Some(path) = &opts.trace {
+        let sink = fedval_obs::FileSink::create(path)
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        fedval_obs::install(std::sync::Arc::new(sink));
+    }
+
+    let state = ServeState::new(opts.spec.clone(), opts.whatif_cache);
+    if opts.warm {
+        let report = state.warm(opts.threads);
+        println!(
+            "warmed {} coalition values (n={}), shapley={}, nucleolus={}",
+            report.coalitions,
+            opts.spec.n(),
+            if report.shapley_ok { "ok" } else { "FAILED" },
+            if report.nucleolus_ok { "ok" } else { "FAILED" },
+        );
+    }
+
+    let config = ServerConfig {
+        threads: opts.threads,
+        queue_depth: opts.queue_depth,
+        deadline: Duration::from_millis(opts.deadline_ms),
+    };
+    let server = Server::start(state, &opts.addr, config)
+        .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+
+    // Scripts (ci.sh, fedload wrappers) parse this exact line for the
+    // resolved ephemeral port; flush so they see it before any queries.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let report = server.wait();
+    println!(
+        "drained: accepted={} answered={} busy={} deadline_expired={} protocol_errors={} abandoned={}",
+        report.accepted,
+        report.answered,
+        report.busy,
+        report.deadline_expired,
+        report.protocol_errors,
+        report.abandoned,
+    );
+    if opts.trace.is_some() {
+        fedval_obs::shutdown();
+    }
+    if report.abandoned != 0 {
+        return Err(format!("drain abandoned {} queued jobs", report.abandoned));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_serve_the_worked_example() {
+        let opts = parse(&args(&[])).unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7411");
+        assert_eq!(opts.spec, ScenarioSpec::paper_4_1());
+        assert_eq!(opts.queue_depth, 1024);
+        assert_eq!(opts.deadline_ms, 2_000);
+        assert!(!opts.warm);
+        assert!(opts.threads >= 1, "threads default to hardware parallelism");
+    }
+
+    #[test]
+    fn parses_server_flags() {
+        let opts = parse(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "3",
+            "--queue-depth",
+            "9",
+            "--deadline-ms",
+            "250",
+            "--warm",
+            "--whatif-cache",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.queue_depth, 9);
+        assert_eq!(opts.deadline_ms, 250);
+        assert!(opts.warm);
+        assert_eq!(opts.whatif_cache, 5);
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        let opts = parse(&args(&[
+            "--locations",
+            "10,20",
+            "--capacities",
+            "2,3",
+            "--threshold",
+            "15",
+            "--shape",
+            "0.5",
+            "--volume",
+            "fill",
+        ]))
+        .unwrap();
+        assert_eq!(opts.spec.locations, vec![10, 20]);
+        assert_eq!(opts.spec.capacities, vec![2, 3]);
+        assert_eq!(opts.spec.threshold, 15.0);
+        assert_eq!(opts.spec.volume, None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args(&["--threads", "0"])).is_err());
+        assert!(parse(&args(&["--queue-depth", "0"])).is_err());
+        assert!(parse(&args(&["--locations", "1,x"])).is_err());
+        assert!(parse(&args(&["--capacities", "1,2"])).is_err());
+        assert!(parse(&args(&["--frobnicate", "1"])).is_err());
+        assert!(parse(&args(&["--addr"])).is_err());
+    }
+}

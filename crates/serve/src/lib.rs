@@ -1,0 +1,41 @@
+//! fedval-serve: an online policy-query server over the federation
+//! valuation pipeline.
+//!
+//! The batch tools (`fedval`, `repro`, `bench_pipeline`) re-solve the
+//! coalitional game from scratch on every invocation. An operator
+//! steering admission control in a running federation asks the *same*
+//! scenario hundreds of times per second — "what is coalition {1,2}
+//! worth?", "what is provider 3's Shapley share?", "what happens if a
+//! fourth provider joins?". This crate keeps one
+//! [`FederationScenario`-derived game][crate::state::ScenarioGame]
+//! resident behind the single-flight
+//! [`CachedGame`](fedval_coalition::CachedGame), pre-warms every
+//! coalition value plus the ϕ̂ and nucleolus share tables at startup,
+//! and answers queries over a newline-framed JSON-ish TCP protocol —
+//! std-only, no external dependencies.
+//!
+//! Layout:
+//!
+//! * [`protocol`] — wire framing, request parsing (total and
+//!   panic-free over arbitrary bytes), response rendering.
+//! * [`state`] — scenario specification, warm caches, query
+//!   execution, the bounded what-if LRU.
+//! * [`lru`] — the deterministic bounded LRU map backing what-ifs.
+//! * [`server`] — acceptor / reader / worker threads, the bounded
+//!   queue with `BUSY` backpressure, deadlines, graceful drain.
+//!
+//! Two binaries ship with the crate: `fedval-serve` (the daemon) and
+//! `fedload` (a seeded closed-loop load generator that doubles as the
+//! correctness smoke-test driver in CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use protocol::{parse_request, ProtocolError, QueryKind, Request, MAX_FRAME};
+pub use server::{DrainReport, Server, ServerConfig, ServerStats};
+pub use state::{ScenarioSpec, ServeState};

@@ -1,0 +1,735 @@
+//! The long-running TCP server: acceptor, fixed worker pool, bounded
+//! request queue, explicit backpressure, deadlines, graceful drain.
+//!
+//! ## Threading model
+//!
+//! * **One acceptor thread** owns the listener and spawns one
+//!   I/O-bound reader thread per connection.
+//! * **Reader threads** frame and parse requests. Cheap kinds
+//!   (`health`, `stats`, `shutdown`) are answered inline so they stay
+//!   responsive even when the compute queue is saturated. Compute
+//!   kinds are pushed onto the shared bounded queue.
+//! * **A fixed pool of `threads` worker threads** pops the queue,
+//!   enforces the per-request deadline, executes against the warm
+//!   [`ServeState`], and writes the response. Responses carry the
+//!   request id, so per-connection ordering does not matter.
+//!
+//! ## Backpressure contract
+//!
+//! The queue is bounded at `queue_depth`. A request that arrives while
+//! the queue is full is answered **immediately** with a `BUSY` error —
+//! the server never buffers unbounded work, never drops a connection
+//! without a response, and never blocks the reader on the queue. A
+//! request that waited in the queue longer than `deadline` is answered
+//! with `DEADLINE` instead of being executed — stale what-if answers
+//! are worse than fast failures in a policy loop.
+//!
+//! ## Drain
+//!
+//! Shutdown (the `shutdown` query, or [`Server::shutdown`]) stops the
+//! acceptor, half-closes every connection for reads (in-flight
+//! responses still go out), lets the workers finish every job already
+//! queued, and joins all threads. Requests arriving mid-drain get
+//! `SHUTTING_DOWN`.
+
+use crate::protocol::{
+    parse_request, render_err, render_ok, ProtocolError, QueryKind, Request, MAX_FRAME,
+};
+use crate::state::{lock_recover, ServeState};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing compute queries.
+    pub threads: usize,
+    /// Bounded request-queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from enqueue to dequeue.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: available_threads(),
+            queue_depth: 1024,
+            deadline: Duration::from_millis(2_000),
+        }
+    }
+}
+
+/// Worker threads the hardware offers, floor 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Counters the `stats` query reports. All relaxed: they are
+/// monotone operational telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Compute requests answered (ok or query error).
+    pub answered: AtomicU64,
+    /// Requests refused with `BUSY`.
+    pub busy: AtomicU64,
+    /// Requests expired with `DEADLINE`.
+    pub deadline_expired: AtomicU64,
+    /// Frames rejected with a typed protocol error.
+    pub protocol_errors: AtomicU64,
+    /// Requests refused with `SHUTTING_DOWN`.
+    pub refused_draining: AtomicU64,
+    /// Inline requests answered (health/stats/shutdown).
+    pub inline_answered: AtomicU64,
+}
+
+/// Final tally returned by [`Server::shutdown`] / [`Server::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Compute requests answered.
+    pub answered: u64,
+    /// `BUSY` refusals.
+    pub busy: u64,
+    /// `DEADLINE` expiries.
+    pub deadline_expired: u64,
+    /// Typed protocol errors returned.
+    pub protocol_errors: u64,
+    /// Jobs still queued when the drain finished (always 0 — the
+    /// workers drain the queue before exiting; reported so tests can
+    /// assert it).
+    pub abandoned: u64,
+}
+
+/// One queued compute request.
+struct Job {
+    request: Request,
+    writer: Arc<Mutex<TcpStream>>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    state: ServeState,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutting_down: AtomicBool,
+    shutdown_signal: Mutex<bool>,
+    shutdown_cv: Condvar,
+    stats: ServerStats,
+    /// Live connections by id; readers deregister themselves on exit so
+    /// short-lived connections don't leak file descriptors.
+    conns: Mutex<std::collections::BTreeMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle does **not** stop the
+/// threads; call [`Server::shutdown`] (or send a `shutdown` query and
+/// [`Server::wait`]).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the acceptor and worker pool.
+    ///
+    /// # Errors
+    /// Propagates socket errors from bind/local_addr.
+    pub fn start(state: ServeState, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            state,
+            config: ServerConfig { threads, ..config },
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            shutdown_signal: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            stats: ServerStats::default(),
+            conns: Mutex::new(std::collections::BTreeMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared))
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live operational counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Initiates a graceful drain without blocking: stops the
+    /// acceptor, half-closes connections, releases the workers.
+    pub fn initiate_shutdown(&self) {
+        initiate_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until a drain is initiated (by [`Server::initiate_shutdown`]
+    /// or a client's `shutdown` query), then joins every thread and
+    /// reports the final tally.
+    pub fn wait(mut self) -> DrainReport {
+        {
+            let mut flagged = lock_recover(&self.shared.shutdown_signal);
+            while !*flagged {
+                flagged = match self.shared.shutdown_cv.wait(flagged) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+        // The flag is set before the signal, but the acceptor may not
+        // have been poked if the drain came from a client request on a
+        // reader thread; poke it (idempotent).
+        initiate_shutdown(&self.shared, self.local_addr);
+
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let handle = lock_recover(&self.shared.conn_threads).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+
+        let stats = &self.shared.stats;
+        DrainReport {
+            accepted: stats.accepted.load(Ordering::Relaxed),
+            answered: stats.answered.load(Ordering::Relaxed),
+            busy: stats.busy.load(Ordering::Relaxed),
+            deadline_expired: stats.deadline_expired.load(Ordering::Relaxed),
+            protocol_errors: stats.protocol_errors.load(Ordering::Relaxed),
+            abandoned: lock_recover(&self.shared.queue).len() as u64,
+        }
+    }
+
+    /// Initiates the drain and waits for it: the one-call stop used by
+    /// tests and the daemon's signal-free teardown.
+    pub fn shutdown(self) -> DrainReport {
+        self.initiate_shutdown();
+        self.wait()
+    }
+}
+
+fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
+    let first = !shared.shutting_down.swap(true, Ordering::SeqCst);
+    {
+        let mut flagged = lock_recover(&shared.shutdown_signal);
+        *flagged = true;
+    }
+    shared.shutdown_cv.notify_all();
+    shared.queue_cv.notify_all();
+    if first {
+        fedval_obs::event("serve.server.drain", Vec::new);
+        // Unblock the acceptor with a throwaway self-connection; it
+        // re-checks the flag after every accept.
+        let _ = TcpStream::connect(local_addr);
+        // Half-close every connection for reads: blocked readers wake
+        // with EOF while queued responses can still be written.
+        for conn in lock_recover(&shared.conns).values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // The drain's self-connection (or a late client):
+                    // close immediately, stop accepting.
+                    drop(stream);
+                    return;
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                fedval_obs::counter_add("serve.conn.accepted", 1);
+                let _ = stream.set_nodelay(true);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                match stream.try_clone() {
+                    Ok(registered) => {
+                        lock_recover(&shared.conns).insert(conn_id, registered);
+                    }
+                    Err(_) => {
+                        // Can't register for drain half-close; refuse the
+                        // connection rather than leak an undrainable reader.
+                        drop(stream);
+                        continue;
+                    }
+                }
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    connection_loop(&conn_shared, stream);
+                    // Deregister so the duplicated fd closes with the
+                    // reader; queued responses still hold their own
+                    // writer clone until written.
+                    lock_recover(&conn_shared.conns).remove(&conn_id);
+                });
+                lock_recover(&shared.conn_threads).push(handle);
+            }
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // keep serving.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// What one framing attempt produced.
+enum FrameRead {
+    /// A complete frame is in the buffer.
+    Frame,
+    /// The frame exceeded [`MAX_FRAME`] before its newline.
+    TooLarge,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one newline-terminated frame into `buf` (newline stripped,
+/// trailing `\r` stripped), bounding memory at [`MAX_FRAME`].
+fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<FrameRead> {
+    buf.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF. A non-empty unterminated tail is handed to the
+            // parser (it will reject it as truncated if incomplete).
+            return Ok(if buf.is_empty() {
+                FrameRead::Eof
+            } else {
+                FrameRead::Frame
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > MAX_FRAME {
+                    reader.consume(pos + 1);
+                    return Ok(FrameRead::TooLarge);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(FrameRead::Frame);
+            }
+            None => {
+                let len = available.len();
+                if buf.len() + len > MAX_FRAME {
+                    reader.consume(len);
+                    return Ok(FrameRead::TooLarge);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Writes one response line; a failed write means the client left.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut stream = lock_recover(writer);
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::with_capacity(16 * 1024, stream);
+    let mut buf = Vec::with_capacity(256);
+    loop {
+        match read_frame(&mut reader, &mut buf) {
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::TooLarge) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                fedval_obs::counter_add("serve.protocol.errors", 1);
+                let err = ProtocolError::FrameTooLarge { len: MAX_FRAME + 1 };
+                write_line(&writer, &render_err(None, err.code(), &err.to_string()));
+                // Unrecoverable mid-frame: close rather than misparse
+                // the remainder of the oversized frame as new frames.
+                return;
+            }
+            Ok(FrameRead::Frame) => {
+                if buf.is_empty() {
+                    continue; // blank keep-alive line
+                }
+                match parse_request(&buf) {
+                    Err(err) => {
+                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        fedval_obs::counter_add("serve.protocol.errors", 1);
+                        write_line(&writer, &render_err(None, err.code(), &err.to_string()));
+                        if err.is_fatal() {
+                            return;
+                        }
+                    }
+                    Ok(request) => dispatch(shared, &writer, request),
+                }
+            }
+        }
+    }
+}
+
+/// Routes one parsed request: inline kinds answer on the reader
+/// thread; compute kinds go through the bounded queue.
+fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Request) {
+    counter_for_kind(&request.kind);
+    match request.kind {
+        QueryKind::Health => {
+            shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            let status = if shared.shutting_down.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            let payload = format!("\"kind\":\"health\",\"status\":\"{status}\"");
+            write_line(writer, &render_ok(request.id, &payload));
+        }
+        QueryKind::Stats => {
+            shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            let payload = stats_payload(shared);
+            write_line(writer, &render_ok(request.id, &payload));
+        }
+        QueryKind::Shutdown => {
+            shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            // Raise the drain flag BEFORE acknowledging: once the client
+            // reads the response, no later connection can be served
+            // normally. This also half-closes our own socket; the next
+            // read_frame sees EOF and the reader thread exits.
+            initiate_shutdown(shared, local_addr_of(shared));
+            write_line(
+                writer,
+                &render_ok(request.id, "\"kind\":\"shutdown\",\"draining\":true"),
+            );
+        }
+        _ => enqueue(shared, writer, request),
+    }
+}
+
+/// The acceptor's address, recovered from any registered conn (used by
+/// the reader-thread shutdown path); falls back to an unspecified
+/// address — the self-connect poke then fails silently, and the
+/// acceptor still exits on its next accepted connection or via
+/// [`Server::wait`]'s idempotent re-poke.
+fn local_addr_of(shared: &Shared) -> SocketAddr {
+    lock_recover(&shared.conns)
+        .values()
+        .next()
+        .and_then(|c| c.local_addr().ok())
+        .unwrap_or_else(|| SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+fn enqueue(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Request) {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.stats.refused_draining.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &render_err(request.id, "SHUTTING_DOWN", "server is draining"),
+        );
+        return;
+    }
+    let depth = {
+        let mut queue = lock_recover(&shared.queue);
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.busy", 1);
+            write_line(
+                writer,
+                &render_err(
+                    request.id,
+                    "BUSY",
+                    &format!("queue full (depth {})", shared.config.queue_depth),
+                ),
+            );
+            return;
+        }
+        queue.push_back(Job {
+            request,
+            writer: Arc::clone(writer),
+            enqueued: Instant::now(),
+        });
+        queue.len()
+    };
+    fedval_obs::gauge_set("serve.queue.depth", depth as f64);
+    shared.queue_cv.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = lock_recover(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    fedval_obs::gauge_set("serve.queue.depth", queue.len() as f64);
+                    break Some(job);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = match shared.queue_cv.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let Some(job) = job else { return };
+        process(shared, job);
+    }
+}
+
+fn process(shared: &Shared, job: Job) {
+    let Job {
+        request,
+        writer,
+        enqueued,
+    } = job;
+    let _span = fedval_obs::span_with("serve.request", || request.kind.name().to_string());
+    let waited = enqueued.elapsed();
+    if waited > shared.config.deadline {
+        shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        fedval_obs::counter_add("serve.deadline_expired", 1);
+        write_line(
+            &writer,
+            &render_err(
+                request.id,
+                "DEADLINE",
+                &format!(
+                    "queued {}ms > deadline {}ms",
+                    waited.as_millis(),
+                    shared.config.deadline.as_millis()
+                ),
+            ),
+        );
+        return;
+    }
+    let line = match shared.state.execute(&request.kind) {
+        Ok(payload) => render_ok(request.id, &payload),
+        Err(err) => render_err(request.id, err.code, &err.detail),
+    };
+    write_line(&writer, &line);
+    shared.stats.answered.fetch_add(1, Ordering::Relaxed);
+    let total_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    fedval_obs::observe_ns("serve.request_ns", total_ns);
+}
+
+/// Bumps the per-kind request counter (static names: `counter_add`
+/// requires `&'static str`).
+fn counter_for_kind(kind: &QueryKind) {
+    let name = match kind {
+        QueryKind::CoalitionValue { .. } => "serve.req.coalition_value",
+        QueryKind::Shapley => "serve.req.shapley",
+        QueryKind::Nucleolus => "serve.req.nucleolus",
+        QueryKind::WhatIfJoin { .. } => "serve.req.what_if_join",
+        QueryKind::WhatIfLeave { .. } => "serve.req.what_if_leave",
+        QueryKind::Health => "serve.req.health",
+        QueryKind::Stats => "serve.req.stats",
+        QueryKind::Shutdown => "serve.req.shutdown",
+    };
+    fedval_obs::counter_add(name, 1);
+}
+
+fn stats_payload(shared: &Shared) -> String {
+    let stats = &shared.stats;
+    let queue_depth = lock_recover(&shared.queue).len();
+    format!(
+        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
+        shared.state.n(),
+        shared.started.elapsed().as_millis(),
+        shared.config.threads,
+        queue_depth,
+        shared.config.queue_depth,
+        stats.accepted.load(Ordering::Relaxed),
+        stats.answered.load(Ordering::Relaxed),
+        stats.inline_answered.load(Ordering::Relaxed),
+        stats.busy.load(Ordering::Relaxed),
+        stats.deadline_expired.load(Ordering::Relaxed),
+        stats.protocol_errors.load(Ordering::Relaxed),
+        stats.refused_draining.load(Ordering::Relaxed),
+        shared.state.whatif_hits(),
+        shared.state.whatif_misses(),
+        shared.state.coalitions_cached(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ScenarioSpec;
+    use std::io::BufRead;
+
+    fn start_test_server(config: ServerConfig) -> Server {
+        let state = ServeState::new(ScenarioSpec::paper_4_1(), 8);
+        state.warm(1);
+        Server::start(state, "127.0.0.1:0", config).expect("bind loopback")
+    }
+
+    fn client(addr: SocketAddr) -> (std::io::BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        (reader, stream)
+    }
+
+    fn roundtrip(
+        reader: &mut std::io::BufReader<TcpStream>,
+        stream: &mut TcpStream,
+        request: &str,
+    ) -> String {
+        stream
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn end_to_end_query_roundtrip() {
+        let server = start_test_server(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = client(server.local_addr());
+
+        let health = roundtrip(&mut reader, &mut stream, "{\"id\":1,\"kind\":\"health\"}");
+        assert_eq!(
+            health,
+            "{\"id\":1,\"ok\":true,\"kind\":\"health\",\"status\":\"ok\"}"
+        );
+
+        let a = roundtrip(&mut reader, &mut stream, "{\"id\":2,\"kind\":\"shapley\"}");
+        assert!(a.contains("\"ok\":true") && a.contains("\"grand_value\":1300"), "{a}");
+        let b = roundtrip(&mut reader, &mut stream, "{\"id\":2,\"kind\":\"shapley\"}");
+        assert_eq!(a, b, "identical queries must be byte-identical");
+
+        let v = roundtrip(
+            &mut reader,
+            &mut stream,
+            "{\"id\":3,\"kind\":\"coalition-value\",\"coalition\":[1,2]}",
+        );
+        assert!(v.contains("\"value\":1200"), "{v}");
+
+        let report = server.shutdown();
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.answered, 3);
+    }
+
+    #[test]
+    fn malformed_frames_get_typed_errors_and_connection_survives() {
+        let server = start_test_server(ServerConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+
+        let err = roundtrip(&mut reader, &mut stream, "this is not json");
+        assert!(err.contains("\"ok\":false") && err.contains("MALFORMED"), "{err}");
+
+        // Same connection still answers real queries.
+        let ok = roundtrip(&mut reader, &mut stream, "{\"kind\":\"health\"}");
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+
+        let report = server.shutdown();
+        assert_eq!(report.protocol_errors, 1);
+    }
+
+    #[test]
+    fn oversized_frame_is_answered_then_closed() {
+        let server = start_test_server(ServerConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+
+        let huge = "x".repeat(MAX_FRAME + 10);
+        stream.write_all(huge.as_bytes()).expect("send body");
+        stream.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        assert!(line.contains("FRAME_TOO_LARGE"), "{line}");
+        // The server closes after the fatal error: next read is EOF.
+        line.clear();
+        let n = reader.read_line(&mut line).expect("eof read");
+        assert_eq!(n, 0, "connection must be closed, got {line:?}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_query_drains_cleanly() {
+        let server = start_test_server(ServerConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+        let bye = roundtrip(&mut reader, &mut stream, "{\"id\":9,\"kind\":\"shutdown\"}");
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+        let report = server.wait();
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn stats_reports_queue_capacity() {
+        let server = start_test_server(ServerConfig {
+            queue_depth: 7,
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = client(server.local_addr());
+        let stats = roundtrip(&mut reader, &mut stream, "{\"kind\":\"stats\"}");
+        assert!(stats.contains("\"queue_capacity\":7"), "{stats}");
+        assert!(stats.contains("\"coalitions_cached\":8"), "{stats}");
+        server.shutdown();
+    }
+}

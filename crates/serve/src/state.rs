@@ -1,0 +1,551 @@
+//! Warm query state: the scenario, its single-flight coalition cache,
+//! pre-rendered share payloads, and the bounded what-if LRU.
+//!
+//! The serving model is the paper's policy loop (§4.3): the expensive
+//! coalitional solve happens once (at warm-up or on first demand), and
+//! every subsequent query is a lookup against immutable pre-rendered
+//! bytes. Three cache layers, coarsest first:
+//!
+//! 1. **Payload cache** — `shapley` / `nucleolus` responses for the
+//!    base scenario are rendered exactly once (`OnceLock`) and reused
+//!    byte-for-byte. This is what makes identical queries return
+//!    byte-identical responses.
+//! 2. **Coalition cache** — `coalition-value` queries go through one
+//!    shared [`CachedGame`]: single-flight across worker threads, warm
+//!    across requests. `--warm` pre-populates all `2^n` entries.
+//! 3. **What-if LRU** — derived scenarios (`what-if-join` /
+//!    `what-if-leave`) are re-solved once and the rendered payload kept
+//!    in a bounded [`Lru`]; the bound caps both memory and the blast
+//!    radius of adversarial query streams.
+
+use crate::lru::Lru;
+use crate::protocol::{render_f64_array, QueryError, QueryKind};
+use fedval_coalition::{nucleolus, CachedGame, Coalition, CoalitionalGame, TableGame};
+use fedval_core::sharing::shapley_hat_of;
+use fedval_core::{Demand, ExperimentClass, Facility, FederationGame, Volume};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Everything needed to (re)build a federation scenario. Kept separate
+/// from the built artifacts so what-if queries can derive modified
+/// copies cheaply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Locations per facility.
+    pub locations: Vec<u32>,
+    /// Per-location capacity per facility.
+    pub capacities: Vec<u64>,
+    /// Diversity threshold ℓ of the single experiment class.
+    pub threshold: f64,
+    /// Utility exponent d.
+    pub shape: f64,
+    /// Number of experiments; `None` = capacity-filling demand.
+    pub volume: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// The paper's §4.1 worked example: L = (100, 400, 800), R = 1,
+    /// ℓ = 500, d = 1, one experiment.
+    pub fn paper_4_1() -> ScenarioSpec {
+        ScenarioSpec {
+            locations: vec![100, 400, 800],
+            capacities: vec![1, 1, 1],
+            threshold: 500.0,
+            shape: 1.0,
+            volume: Some(1),
+        }
+    }
+
+    /// Player count.
+    pub fn n(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Builds the facility list (disjoint location ranges, player
+    /// order = spec order).
+    pub fn facilities(&self) -> Vec<Facility> {
+        let mut start = 0u32;
+        self.locations
+            .iter()
+            .zip(&self.capacities)
+            .enumerate()
+            .map(|(i, (&l, &r))| {
+                let f = Facility::uniform(format!("facility-{}", i + 1), start, l, r);
+                start = start.saturating_add(l);
+                f
+            })
+            .collect()
+    }
+
+    /// Builds the demand profile.
+    pub fn demand(&self) -> Demand {
+        let class = ExperimentClass::simple("serve", self.threshold, self.shape);
+        match self.volume {
+            Some(1) => Demand::one_experiment(class),
+            Some(k) => Demand::single(class, Volume::Count(k)),
+            None => Demand::capacity_filling(class),
+        }
+    }
+
+    /// The spec with one facility appended (what-if-join).
+    ///
+    /// # Errors
+    /// `BAD_REQUEST` when the result would exceed the dense-table
+    /// player bound ([`TableGame::MAX_PLAYERS`]).
+    pub fn join(&self, locations: u32, capacity: u64) -> Result<ScenarioSpec, QueryError> {
+        if self.n() + 1 > TableGame::MAX_PLAYERS {
+            return Err(QueryError::new(
+                "BAD_REQUEST",
+                format!(
+                    "cannot join: {} players is the dense-table limit",
+                    TableGame::MAX_PLAYERS
+                ),
+            ));
+        }
+        let mut spec = self.clone();
+        spec.locations.push(locations);
+        spec.capacities.push(capacity);
+        Ok(spec)
+    }
+
+    /// The spec with player `player` removed (what-if-leave).
+    ///
+    /// # Errors
+    /// `BAD_REQUEST` when `player` is out of range or the departure
+    /// would leave an empty federation.
+    pub fn leave(&self, player: usize) -> Result<ScenarioSpec, QueryError> {
+        if player >= self.n() {
+            return Err(QueryError::new(
+                "BAD_REQUEST",
+                format!("player {player} out of range (n={})", self.n()),
+            ));
+        }
+        if self.n() == 1 {
+            return Err(QueryError::new(
+                "BAD_REQUEST",
+                "cannot leave: the federation would be empty",
+            ));
+        }
+        let mut spec = self.clone();
+        spec.locations.remove(player);
+        spec.capacities.remove(player);
+        Ok(spec)
+    }
+}
+
+/// An owned [`CoalitionalGame`] over a spec's facilities and demand —
+/// the borrow-free form [`CachedGame`] needs to live inside shared
+/// server state.
+pub struct ScenarioGame {
+    facilities: Vec<Facility>,
+    demand: Demand,
+}
+
+impl ScenarioGame {
+    /// Builds the owned game for a spec.
+    pub fn new(spec: &ScenarioSpec) -> ScenarioGame {
+        ScenarioGame {
+            facilities: spec.facilities(),
+            demand: spec.demand(),
+        }
+    }
+}
+
+impl CoalitionalGame for ScenarioGame {
+    fn n_players(&self) -> usize {
+        self.facilities.len()
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        FederationGame::new(&self.facilities, &self.demand).value(coalition)
+    }
+}
+
+/// Outcome of warming the state (reported by the daemon at startup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmReport {
+    /// Coalition values now memoized (2^n).
+    pub coalitions: usize,
+    /// Whether the ϕ̂ payload rendered cleanly.
+    pub shapley_ok: bool,
+    /// Whether the nucleolus payload rendered cleanly.
+    pub nucleolus_ok: bool,
+}
+
+/// Shared, thread-safe query state. One instance serves every worker.
+pub struct ServeState {
+    spec: ScenarioSpec,
+    cached: CachedGame<ScenarioGame>,
+    shapley: OnceLock<Result<String, QueryError>>,
+    nucleolus: OnceLock<Result<String, QueryError>>,
+    whatif: Mutex<Lru<WhatIfKey, Result<String, QueryError>>>,
+    whatif_hits: AtomicU64,
+    whatif_misses: AtomicU64,
+}
+
+/// Cache key for one derived scenario.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum WhatIfKey {
+    Join { locations: u32, capacity: u64 },
+    Leave { player: usize },
+}
+
+impl ServeState {
+    /// Creates cold state for a spec; `whatif_capacity` bounds the
+    /// derived-scenario LRU.
+    pub fn new(spec: ScenarioSpec, whatif_capacity: usize) -> ServeState {
+        let cached = CachedGame::new(ScenarioGame::new(&spec));
+        ServeState {
+            spec,
+            cached,
+            shapley: OnceLock::new(),
+            nucleolus: OnceLock::new(),
+            whatif: Mutex::new(Lru::new(whatif_capacity)),
+            whatif_hits: AtomicU64::new(0),
+            whatif_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The scenario spec being served.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Player count of the base scenario.
+    pub fn n(&self) -> usize {
+        self.spec.n()
+    }
+
+    /// What-if LRU hits so far.
+    pub fn whatif_hits(&self) -> u64 {
+        self.whatif_hits.load(Ordering::Relaxed)
+    }
+
+    /// What-if LRU misses so far.
+    pub fn whatif_misses(&self) -> u64 {
+        self.whatif_misses.load(Ordering::Relaxed)
+    }
+
+    /// Coalition values currently memoized in the single-flight cache.
+    pub fn coalitions_cached(&self) -> usize {
+        self.cached.cached_len()
+    }
+
+    /// Pre-warms every cache layer: all `2^n` coalition values, the ϕ̂
+    /// payload, and the nucleolus payload. `threads` shards the
+    /// coalition sweep.
+    pub fn warm(&self, threads: usize) -> WarmReport {
+        let _span = fedval_obs::span_with("serve.state.warm", || {
+            format!("n={} threads={threads}", self.n())
+        });
+        let coalitions = self.cached.prewarm(threads);
+        let shapley_ok = self.shapley_payload().is_ok();
+        let nucleolus_ok = self.nucleolus_payload().is_ok();
+        WarmReport {
+            coalitions,
+            shapley_ok,
+            nucleolus_ok,
+        }
+    }
+
+    /// Executes one compute-kind query, returning the rendered payload
+    /// (the `"kind":…` body of the response line).
+    ///
+    /// # Errors
+    /// `BAD_REQUEST` for out-of-range players, `SOLVE_FAILED` when the
+    /// characteristic-function table cannot be materialized.
+    pub fn execute(&self, kind: &QueryKind) -> Result<String, QueryError> {
+        match kind {
+            QueryKind::CoalitionValue { coalition } => self.coalition_value(coalition),
+            QueryKind::Shapley => self.shapley_payload().clone(),
+            QueryKind::Nucleolus => self.nucleolus_payload().clone(),
+            QueryKind::WhatIfJoin {
+                locations,
+                capacity,
+            } => self.what_if(WhatIfKey::Join {
+                locations: *locations,
+                capacity: *capacity,
+            }),
+            QueryKind::WhatIfLeave { player } => {
+                self.what_if(WhatIfKey::Leave { player: *player })
+            }
+            // Health / stats / shutdown are answered by the server
+            // inline and never reach the compute path.
+            other => Err(QueryError::new(
+                "BAD_REQUEST",
+                format!("'{}' is not a compute query", other.name()),
+            )),
+        }
+    }
+
+    fn coalition_value(&self, players: &[usize]) -> Result<String, QueryError> {
+        let n = self.n();
+        let mut mask = Coalition::EMPTY;
+        for &p in players {
+            if p >= n {
+                return Err(QueryError::new(
+                    "BAD_REQUEST",
+                    format!("player {p} out of range (n={n})"),
+                ));
+            }
+            mask = mask.with(p);
+        }
+        let value = self.cached.value(mask);
+        let members: Vec<String> = mask.players().map(|p| p.to_string()).collect();
+        Ok(format!(
+            "\"kind\":\"coalition-value\",\"coalition\":[{}],\"value\":{}",
+            members.join(","),
+            fedval_obs::json_f64(value)
+        ))
+    }
+
+    /// Renders ϕ̂ of the base scenario, once; later calls reuse the
+    /// identical string.
+    fn shapley_payload(&self) -> &Result<String, QueryError> {
+        self.shapley
+            .get_or_init(|| self.solve_shares("shapley", &self.spec, SolveWhich::Shapley))
+    }
+
+    fn nucleolus_payload(&self) -> &Result<String, QueryError> {
+        self.nucleolus
+            .get_or_init(|| self.solve_shares("nucleolus", &self.spec, SolveWhich::Nucleolus))
+    }
+
+    /// Materializes the base table through the shared coalition cache,
+    /// so a pre-warmed cache makes this pure lookups.
+    fn base_table(&self) -> Result<TableGame, QueryError> {
+        TableGame::try_from_game(&self.cached)
+            .map_err(|e| QueryError::new("SOLVE_FAILED", e.to_string()))
+    }
+
+    fn solve_shares(
+        &self,
+        kind: &str,
+        spec: &ScenarioSpec,
+        which: SolveWhich,
+    ) -> Result<String, QueryError> {
+        let _span = fedval_obs::span_with("serve.state.solve", || format!("kind={kind}"));
+        let table = if spec == &self.spec {
+            self.base_table()?
+        } else {
+            let game = ScenarioGame::new(spec);
+            TableGame::try_from_game(&game)
+                .map_err(|e| QueryError::new("SOLVE_FAILED", e.to_string()))?
+        };
+        render_shares_payload(kind, &table, which)
+    }
+
+    fn what_if(&self, key: WhatIfKey) -> Result<String, QueryError> {
+        let mut lru = lock_recover(&self.whatif);
+        if let Some(cached) = lru.get(&key) {
+            self.whatif_hits.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.whatif.hits", 1);
+            return cached.clone();
+        }
+        self.whatif_misses.fetch_add(1, Ordering::Relaxed);
+        fedval_obs::counter_add("serve.whatif.misses", 1);
+        // Solve while holding the LRU lock: what-if misses are the rare
+        // expensive path, and the lock gives single-flight semantics —
+        // concurrent identical what-ifs solve once, not N times.
+        let (kind, derived) = match &key {
+            WhatIfKey::Join {
+                locations,
+                capacity,
+            } => ("what-if-join", self.spec.join(*locations, *capacity)),
+            WhatIfKey::Leave { player } => ("what-if-leave", self.spec.leave(*player)),
+        };
+        let result = derived.and_then(|spec| self.solve_shares(kind, &spec, SolveWhich::Shapley));
+        lru.insert(key, result.clone());
+        result
+    }
+}
+
+/// Which solution concept a share solve runs.
+#[derive(Debug, Clone, Copy)]
+enum SolveWhich {
+    Shapley,
+    Nucleolus,
+}
+
+fn render_shares_payload(
+    kind: &str,
+    table: &TableGame,
+    which: SolveWhich,
+) -> Result<String, QueryError> {
+    let grand = table.grand_value();
+    let shares = match which {
+        SolveWhich::Shapley => shapley_hat_of(table),
+        SolveWhich::Nucleolus => {
+            if grand.abs() < 1e-12 {
+                vec![0.0; table.n_players()]
+            } else {
+                nucleolus(table).into_iter().map(|v| v / grand).collect()
+            }
+        }
+    };
+    Ok(format!(
+        "\"kind\":\"{kind}\",\"n\":{},\"grand_value\":{},\"shares\":{}",
+        table.n_players(),
+        fedval_obs::json_f64(grand),
+        render_f64_array(&shares)
+    ))
+}
+
+/// Locks a mutex, recovering from poisoning: every structure behind
+/// these locks stays coherent across unwinds (the LRU mutates under
+/// `&mut self` with no partial states observable after a panic).
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServeState {
+        ServeState::new(ScenarioSpec::paper_4_1(), 4)
+    }
+
+    #[test]
+    fn coalition_value_matches_the_paper() {
+        let s = state();
+        let payload = s
+            .execute(&QueryKind::CoalitionValue {
+                coalition: vec![0, 1, 2],
+            })
+            .unwrap();
+        assert_eq!(
+            payload,
+            "\"kind\":\"coalition-value\",\"coalition\":[0,1,2],\"value\":1300"
+        );
+        // Duplicates are idempotent and membership is canonicalized.
+        let dup = s
+            .execute(&QueryKind::CoalitionValue {
+                coalition: vec![2, 0, 1, 1, 2],
+            })
+            .unwrap();
+        assert_eq!(dup, payload);
+    }
+
+    #[test]
+    fn out_of_range_players_are_bad_requests() {
+        let s = state();
+        let err = s
+            .execute(&QueryKind::CoalitionValue {
+                coalition: vec![7],
+            })
+            .unwrap_err();
+        assert_eq!(err.code, "BAD_REQUEST");
+    }
+
+    #[test]
+    fn shapley_payload_is_cached_and_correct() {
+        let s = state();
+        let a = s.execute(&QueryKind::Shapley).unwrap();
+        let b = s.execute(&QueryKind::Shapley).unwrap();
+        assert_eq!(a, b, "identical queries must serve identical bytes");
+        assert!(a.starts_with("\"kind\":\"shapley\",\"n\":3,\"grand_value\":1300,"));
+        // ϕ̂₂ = 2/13 from the worked example; compare a truncated
+        // decimal prefix, since the solver's summation order may land
+        // one ulp away from the literal `2.0 / 13.0`.
+        assert!(a.contains("0.15384615384615"), "{a}");
+    }
+
+    #[test]
+    fn nucleolus_payload_renders() {
+        let s = state();
+        let p = s.execute(&QueryKind::Nucleolus).unwrap();
+        assert!(p.starts_with("\"kind\":\"nucleolus\",\"n\":3,"), "{p}");
+    }
+
+    #[test]
+    fn warm_fills_every_layer() {
+        let s = state();
+        let report = s.warm(2);
+        assert_eq!(report.coalitions, 8);
+        assert!(report.shapley_ok && report.nucleolus_ok);
+        assert_eq!(s.coalitions_cached(), 8);
+    }
+
+    #[test]
+    fn what_if_join_adds_a_player_and_caches() {
+        let s = state();
+        let kind = QueryKind::WhatIfJoin {
+            locations: 200,
+            capacity: 1,
+        };
+        let a = s.execute(&kind).unwrap();
+        assert!(a.starts_with("\"kind\":\"what-if-join\",\"n\":4,"), "{a}");
+        assert_eq!(s.whatif_misses(), 1);
+        let b = s.execute(&kind).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.whatif_hits(), 1, "second identical what-if must hit");
+    }
+
+    #[test]
+    fn what_if_leave_drops_a_player() {
+        let s = state();
+        let p = s
+            .execute(&QueryKind::WhatIfLeave { player: 0 })
+            .unwrap();
+        assert!(p.starts_with("\"kind\":\"what-if-leave\",\"n\":2,"), "{p}");
+        // Removing facility 1 (L=100) leaves L=(400,800): with ℓ=500
+        // the pair still clears the diversity threshold.
+        assert!(p.contains("\"grand_value\":1200"), "{p}");
+    }
+
+    #[test]
+    fn what_if_errors_are_cached_as_bad_requests() {
+        let s = state();
+        let err = s
+            .execute(&QueryKind::WhatIfLeave { player: 9 })
+            .unwrap_err();
+        assert_eq!(err.code, "BAD_REQUEST");
+        let again = s
+            .execute(&QueryKind::WhatIfLeave { player: 9 })
+            .unwrap_err();
+        assert_eq!(again, err);
+        assert_eq!(s.whatif_hits(), 1);
+    }
+
+    #[test]
+    fn lru_bound_holds_under_many_distinct_whatifs() {
+        let s = ServeState::new(ScenarioSpec::paper_4_1(), 2);
+        for loc in 1..=6u32 {
+            let _ = s.execute(&QueryKind::WhatIfJoin {
+                locations: loc,
+                capacity: 1,
+            });
+        }
+        assert_eq!(s.whatif_misses(), 6);
+        let lru = lock_recover(&s.whatif);
+        assert_eq!(lru.len(), 2, "LRU must stay at its bound");
+    }
+
+    #[test]
+    fn spec_join_and_leave_validate() {
+        let spec = ScenarioSpec::paper_4_1();
+        assert_eq!(spec.join(10, 1).unwrap().n(), 4);
+        assert_eq!(spec.leave(1).unwrap().n(), 2);
+        assert!(spec.leave(3).is_err());
+        let solo = ScenarioSpec {
+            locations: vec![5],
+            capacities: vec![1],
+            ..ScenarioSpec::paper_4_1()
+        };
+        assert!(solo.leave(0).is_err());
+        let mut big = spec.clone();
+        big.locations = vec![1; TableGame::MAX_PLAYERS];
+        big.capacities = vec![1; TableGame::MAX_PLAYERS];
+        assert!(big.join(1, 1).is_err(), "joins past the table bound fail");
+    }
+
+    #[test]
+    fn non_compute_kinds_are_rejected_by_execute() {
+        let s = state();
+        assert_eq!(s.execute(&QueryKind::Health).unwrap_err().code, "BAD_REQUEST");
+    }
+}

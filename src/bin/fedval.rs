@@ -48,11 +48,22 @@ fn usage() -> &'static str {
        --scheme     name        shapley|proportional|consumption|\n\
                                 nucleolus|equal          (default shapley)\n\
        --threads    N           worker threads for the Shapley pass\n\
-                                (default 1; any N gives identical shares)\n\
+                                (default: available hardware parallelism;\n\
+                                any N gives identical shares)\n\
        --trace      path        write a JSONL observability trace (spans,\n\
                                 counters, events) to this file\n\
        --metrics                print the run report (per-phase timings,\n\
                                 counter totals) after the command output\n"
+}
+
+/// Default worker-thread count: the available hardware parallelism
+/// (floor 1). Shares are identical for any thread count — the repro
+/// suite diffs t=1 against t=4 to enforce it — so defaulting to the
+/// hardware is free throughput. `--threads` overrides.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -64,7 +75,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         shape: 1.0,
         volume: Some(1),
         scheme: "shapley".to_string(),
-        threads: 1,
+        threads: default_threads(),
         trace: None,
         metrics: false,
     };
@@ -340,7 +351,8 @@ mod tests {
 
     #[test]
     fn parses_threads_flag() {
-        assert_eq!(parse(&args(&["shares"])).unwrap().threads, 1);
+        assert_eq!(parse(&args(&["shares"])).unwrap().threads, default_threads());
+        assert!(default_threads() >= 1);
         let opts = parse(&args(&["shares", "--threads", "4"])).unwrap();
         assert_eq!(opts.threads, 4);
         assert!(parse(&args(&["shares", "--threads", "0"])).is_err());
