@@ -93,6 +93,91 @@ if ! grep -q "protocol_errors=0" "$smoke_tmp/serve.log"; then
     exit 1
 fi
 
+echo "== fedchaos smoke (seeded chaos campaign vs hardened daemon)"
+chaos_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${chaos_tmp:-}"' EXIT
+./target/release/fedval-serve --addr 127.0.0.1:0 --warm --chaos-harness \
+    --max-connections 24 --io-timeout-ms 500 --frame-deadline-ms 1000 \
+    --idle-timeout-ms 5000 > "$chaos_tmp/serve.log" 2>&1 &
+chaos_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$chaos_tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci.sh: fedval-serve (chaos harness) did not come up; log:"
+    cat "$chaos_tmp/serve.log"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+fds_before=$(ls "/proc/$chaos_pid/fd" | wc -l)
+# Seed 3 at 12 rounds deterministically includes connect-flood AND
+# panic-injection rounds, so both the shed and worker_restarts counters
+# are exercised (verified; the fault menu is a pure function of seed).
+if ! ./target/release/fedchaos --addr "$addr" --seed 3 --rounds 12 \
+        --flood 32 --hold-ms 1200 --panic-injection --expect-stall-close \
+        --stats > "$chaos_tmp/chaos.json"; then
+    echo ""
+    echo "ci.sh: fedchaos campaign failed (report above) — a survival"
+    echo "invariant broke: probe mismatch, unanswered frame, unclosed stall,"
+    echo "or unshed flood. Reproduce with the printed seed."
+    cat "$chaos_tmp/chaos.json"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+sleep 1
+fds_after=$(ls "/proc/$chaos_pid/fd" | wc -l)
+if [ "$fds_after" -gt $((fds_before + 4)) ]; then
+    echo ""
+    echo "ci.sh: fd leak in fedval-serve under chaos: $fds_before fds before"
+    echo "the campaign, $fds_after after. Stalled/reset connections are not"
+    echo "being reaped."
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q '"worker_restarts":[1-9]' "$chaos_tmp/chaos.json"; then
+    echo ""
+    echo "ci.sh: injected panics did not surface as worker_restarts in stats:"
+    cat "$chaos_tmp/chaos.json"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q '"shed":[1-9]' "$chaos_tmp/chaos.json"; then
+    echo ""
+    echo "ci.sh: connect floods did not surface as shed connections in stats:"
+    cat "$chaos_tmp/chaos.json"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/fedload --addr "$addr" --connections 2 --requests 500 \
+        --kind mixed --seed 11 --retry 3 --shutdown > "$chaos_tmp/load.json"; then
+    echo ""
+    echo "ci.sh: fedload --retry failed against the post-chaos server."
+    cat "$chaos_tmp/load.json"
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$chaos_pid"; then
+    echo ""
+    echo "ci.sh: chaos-harness fedval-serve exited nonzero — drain abandoned work."
+    cat "$chaos_tmp/serve.log"
+    exit 1
+fi
+if ! grep -q "abandoned=0" "$chaos_tmp/serve.log"; then
+    echo ""
+    echo "ci.sh: chaos-harness drain summary missing abandoned=0:"
+    cat "$chaos_tmp/serve.log"
+    exit 1
+fi
+if ! grep -q "worker_restarts=" "$chaos_tmp/serve.log"; then
+    echo ""
+    echo "ci.sh: drain summary no longer reports worker_restarts:"
+    cat "$chaos_tmp/serve.log"
+    exit 1
+fi
+
 echo "== fedval-lint (workspace static analysis vs lint-baseline.toml)"
 if ! cargo run -q -p fedval-lint --release; then
     echo ""

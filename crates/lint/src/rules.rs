@@ -17,13 +17,14 @@
 use crate::lexer::{test_mask, Tok, TokKind};
 
 /// Rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "no-panic-path",
     "float-eq",
     "lossy-cast",
     "nondeterministic-iteration",
     "errors-doc",
     "println-in-lib",
+    "socket-timeouts",
     "allow-audit",
 ];
 
@@ -81,6 +82,7 @@ pub fn lint_file(source: &str, file: &str, krate: &str) -> Vec<Finding> {
     nondeterministic_iteration(&toks, file, krate, &mut findings);
     errors_doc(&toks, file, krate, &mut findings);
     println_in_lib(&toks, file, krate, &mut findings);
+    socket_timeouts(&toks, file, krate, &mut findings);
     allow_audit(&toks, &markers, file, krate, &mut findings);
 
     // Apply justified markers: a finding is suppressed when a marker for
@@ -460,6 +462,77 @@ fn println_in_lib(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// Crates where sockets must carry both deadlines: the serving stack's
+/// robustness contract (DESIGN.md §11) says every `TcpStream` has a read
+/// *and* a write timeout, or a stalled peer pins a thread forever.
+pub const SOCKET_TIMEOUT_CRATES: [&str; 1] = ["serve"];
+
+/// `TcpStream` acquisition (`TcpStream::connect`, `.accept()`,
+/// `.incoming()`) in a socket-deadline crate requires the same file to
+/// call **both** `set_read_timeout` and `set_write_timeout` somewhere in
+/// non-test code. File granularity keeps the check honest without data
+/// flow: a file that acquires sockets but never mentions one of the two
+/// setters cannot possibly be applying it.
+fn socket_timeouts(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
+    if !SOCKET_TIMEOUT_CRATES.contains(&krate) {
+        return;
+    }
+    let mut has_read = false;
+    let mut has_write = false;
+    let mut sites: Vec<(u32, String)> = Vec::new();
+    for ci in 0..lx.code.len() {
+        if lx.code_in_test(ci) {
+            continue;
+        }
+        let t = lx.code_tok(ci);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "set_read_timeout" => has_read = true,
+            "set_write_timeout" => has_write = true,
+            "connect" => {
+                let colons = ci.checked_sub(1).is_some_and(|p| lx.code_tok(p).is_punct("::"));
+                let on_tcp = ci
+                    .checked_sub(2)
+                    .is_some_and(|p| lx.code_tok(p).is_ident("TcpStream"));
+                if colons && on_tcp {
+                    sites.push((t.line, "TcpStream::connect".to_string()));
+                }
+            }
+            "accept" | "incoming" => {
+                let dotted = ci.checked_sub(1).is_some_and(|p| lx.code_tok(p).is_punct("."));
+                let called = lx.code.get(ci + 1).is_some_and(|&i| lx.tokens[i].is_punct("("));
+                if dotted && called {
+                    sites.push((t.line, format!(".{}()", t.text)));
+                }
+            }
+            _ => {}
+        }
+    }
+    if has_read && has_write {
+        return;
+    }
+    let missing = if !has_read && !has_write {
+        "set_read_timeout and set_write_timeout"
+    } else if has_read {
+        "set_write_timeout"
+    } else {
+        "set_read_timeout"
+    };
+    for (line, what) in sites {
+        out.push(finding(
+            "socket-timeouts",
+            file,
+            krate,
+            line,
+            format!(
+                "{what} in a file that never calls {missing} — a stalled peer can pin a thread; set both socket deadlines"
+            ),
+        ));
+    }
+}
+
 /// Collects `// lint: allow(rule) — reason` markers.
 fn collect_markers(toks: &[Tok]) -> Vec<Marker> {
     let mut markers = Vec::new();
@@ -701,6 +774,30 @@ mod tests {
         let justified =
             "fn f() {\n    // lint: allow(println-in-lib) — progress line wanted by operators\n    println!(\"x\");\n}";
         assert!(rules_of(justified, "core").is_empty());
+    }
+
+    #[test]
+    fn socket_timeouts_requires_both_setters_in_serve() {
+        let src = "fn dial() { let s = TcpStream::connect(addr); s.set_read_timeout(Some(t)); }";
+        assert_eq!(rules_of(src, "serve"), vec![("socket-timeouts", 1)]);
+        // Other crates are out of scope.
+        assert!(rules_of(src, "testbed").is_empty());
+        // Both setters present: clean, wherever in the file they sit.
+        let both = "fn dial() { let s = TcpStream::connect(addr); }\nfn arm(s: &TcpStream) { s.set_read_timeout(Some(t)); s.set_write_timeout(Some(t)); }";
+        assert!(rules_of(both, "serve").is_empty());
+    }
+
+    #[test]
+    fn socket_timeouts_covers_accept_and_incoming() {
+        let src = "fn serve(l: &TcpListener) { let c = l.accept(); for s in l.incoming() {} }";
+        let hits = rules_of(src, "serve");
+        assert_eq!(
+            hits,
+            vec![("socket-timeouts", 1), ("socket-timeouts", 1)]
+        );
+        // Test code is exempt like every other rule.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { let c = TcpStream::connect(a); } }";
+        assert!(rules_of(in_test, "serve").is_empty());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Lint-test fixture for the serving crate: the connect below sets only
+//! a read timeout, so `socket-timeouts` must flag the missing write
+//! deadline. This file is never compiled.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+pub fn dial(addr: &str) -> Option<TcpStream> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .ok()?;
+    Some(stream)
+}

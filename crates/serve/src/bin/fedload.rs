@@ -1,31 +1,46 @@
-//! `fedload` — a seeded, deterministic closed-loop load generator for
-//! `fedval-serve`.
+//! `fedload` — a seeded, deterministic load generator for
+//! `fedval-serve`, with closed-loop and open-loop modes.
 //!
-//! Opens `--connections` TCP connections, each driving `--requests`
-//! queries back-to-back (closed loop: the next request is sent only
-//! after the previous response arrives). The query stream is drawn from
-//! a seeded xorshift generator, so two runs with the same seed issue
-//! the same requests in the same order. Every response is validated:
+//! **Closed loop** (default): `--connections` TCP connections each
+//! drive `--requests` queries back-to-back — the next request is sent
+//! only after the previous response arrives. Self-pacing: the offered
+//! load collapses to whatever the server sustains, which measures
+//! capacity but hides overload behavior.
 //!
-//! * it must parse as a response to the id we sent;
-//! * `ok:false` with `BUSY`/`DEADLINE` is counted (expected under
-//!   saturation) but protocol errors are fatal to the run's exit code;
-//! * the first `shapley` response body is memoized and every later
-//!   `shapley` response must be **byte-identical** — the server's
-//!   determinism contract, checked from outside the process.
+//! **Open loop** (`--open-loop --rate R`): requests are issued on a
+//! seeded Poisson arrival process at `R` requests/second *regardless of
+//! response progress*, the way independent federation operators
+//! actually arrive. Latency is measured from the **scheduled** arrival
+//! time, not the actual send, so queueing delay under saturation is
+//! charged to the server (no coordinated omission). Running at ~1.2×
+//! the closed-loop saturation rate is how BENCH_serve.json records tail
+//! latency under overload.
 //!
-//! Latencies feed a [`fedval_obs::Histogram`]; the run report quotes
-//! p50/p95/p99 through the histogram's documented nearest-rank
-//! interpolation and lands in `--out` as JSON (BENCH_serve.json in CI).
+//! **Retry** (`--retry N`): retryable failures — `BUSY`, `DEADLINE`,
+//! and transport errors (reset/EOF, which trigger a reconnect) — are
+//! retried up to N times with capped exponential backoff plus seeded
+//! jitter; protocol errors and mismatches stay fatal. This is the
+//! client half of the serving stack's overload contract: the server
+//! sheds with typed errors, the client backs off deterministically.
+//!
+//! The query stream, arrival process, and retry jitter all derive from
+//! one [`ChaosRng`] seed, so two runs with the same seed issue the same
+//! requests at the same (relative) times. Every response is validated;
+//! the first `shapley` body is memoized and every later one must be
+//! **byte-identical** — the server's determinism contract, checked from
+//! outside the process.
 //!
 //! ```text
 //! fedload --addr 127.0.0.1:7411 --connections 4 --requests 5000 \
-//!         --kind shapley --seed 42 --out BENCH_serve.json --shutdown
+//!         --kind shapley --seed 42 --retry 3 --out BENCH_serve.json
+//! fedload --addr 127.0.0.1:7411 --open-loop --rate 54000 --requests 20000
 //! ```
 
 use fedval_obs::Histogram;
+use fedval_serve::chaos::ChaosRng;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -39,6 +54,9 @@ struct Options {
     seed: u64,
     out: Option<String>,
     shutdown: bool,
+    retry: u32,
+    open_loop: bool,
+    rate: f64,
 }
 
 fn usage() -> &'static str {
@@ -46,11 +64,17 @@ fn usage() -> &'static str {
      \n\
      options:\n\
        --addr HOST:PORT      server to drive (required)\n\
-       --connections N       concurrent closed-loop connections (default 2)\n\
+       --connections N       concurrent connections (default 2)\n\
        --requests N          requests per connection          (default 1000)\n\
        --kind K              shapley|nucleolus|coalition-value|what-if|mixed\n\
                              (default shapley)\n\
-       --seed S              xorshift seed for the query stream (default 42)\n\
+       --seed S              seed for queries/arrivals/jitter (default 42)\n\
+       --retry N             retry BUSY/DEADLINE/transport failures up to N\n\
+                             times with capped exponential backoff + seeded\n\
+                             jitter (closed loop only; default 0 = fail fast)\n\
+       --open-loop           Poisson arrivals instead of closed-loop pacing\n\
+       --rate R              offered load in req/s across all connections\n\
+                             (open loop; default 1000)\n\
        --out PATH            write the JSON report here (e.g. BENCH_serve.json)\n\
        --shutdown            send a shutdown query when the run completes\n"
 }
@@ -64,11 +88,18 @@ fn parse(args: &[String]) -> Result<Options, String> {
         seed: 42,
         out: None,
         shutdown: false,
+        retry: 0,
+        open_loop: false,
+        rate: 1000.0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--shutdown" {
             opts.shutdown = true;
+            continue;
+        }
+        if flag == "--open-loop" {
+            opts.open_loop = true;
             continue;
         }
         let value = it
@@ -89,6 +120,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 opts.seed = value.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--retry" => {
+                opts.retry = value.parse().map_err(|e| format!("--retry: {e}"))?;
+            }
+            "--rate" => {
+                let r: f64 = value.parse().map_err(|e| format!("--rate: {e}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+                opts.rate = r;
+            }
             "--kind" => {
                 if !matches!(
                     value.as_str(),
@@ -105,31 +146,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if opts.addr.is_empty() {
         return Err(usage().to_string());
     }
+    if opts.open_loop && opts.retry > 0 {
+        return Err("--retry is a closed-loop mode (open loop never re-offers load)".to_string());
+    }
     Ok(opts)
 }
 
-/// xorshift64* — tiny, seeded, deterministic; no external RNG dep.
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> XorShift {
-        XorShift(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-}
-
 /// Renders the `i`-th request line for this connection's stream.
-fn request_line(kind: &str, id: u64, rng: &mut XorShift) -> String {
+fn request_line(kind: &str, id: u64, rng: &mut ChaosRng) -> String {
     let concrete = match kind {
-        "mixed" => match rng.next() % 4 {
+        "mixed" => match rng.next_u64() % 4 {
             0 => "shapley",
             1 => "nucleolus",
             2 => "coalition-value",
@@ -140,7 +166,7 @@ fn request_line(kind: &str, id: u64, rng: &mut XorShift) -> String {
     match concrete {
         "coalition-value" => {
             // Non-empty subsets of the 3-player worked example.
-            let mask = 1 + (rng.next() % 7);
+            let mask = 1 + (rng.next_u64() % 7);
             let members: Vec<String> = (0..3)
                 .filter(|p| mask & (1 << p) != 0)
                 .map(|p: u64| p.to_string())
@@ -152,13 +178,13 @@ fn request_line(kind: &str, id: u64, rng: &mut XorShift) -> String {
         }
         "what-if" => {
             // A small rotating pool so the bounded LRU sees hits.
-            if rng.next() % 2 == 0 {
-                let locations = 100 * (1 + rng.next() % 8);
+            if rng.next_u64() % 2 == 0 {
+                let locations = 100 * (1 + rng.next_u64() % 8);
                 format!(
                     "{{\"id\":{id},\"kind\":\"what-if-join\",\"locations\":{locations},\"capacity\":1}}"
                 )
             } else {
-                let player = rng.next() % 3;
+                let player = rng.next_u64() % 3;
                 format!("{{\"id\":{id},\"kind\":\"what-if-leave\",\"player\":{player}}}")
             }
         }
@@ -166,7 +192,16 @@ fn request_line(kind: &str, id: u64, rng: &mut XorShift) -> String {
     }
 }
 
-/// Tally from one connection's closed loop.
+/// Capped exponential backoff with seeded jitter: attempt 1 waits
+/// ~4-8ms, doubling to a 200ms ceiling, with the upper half drawn from
+/// the run's RNG so synchronized clients desynchronize deterministically.
+fn backoff(attempt: u32, rng: &mut ChaosRng) -> Duration {
+    let ceiling: u64 = 200;
+    let base = 4u64.saturating_mul(1 << attempt.min(16).saturating_sub(1)).min(ceiling);
+    Duration::from_millis(base / 2 + rng.below(base / 2 + 1))
+}
+
+/// Tally from one connection's loop.
 #[derive(Debug, Default)]
 struct ConnReport {
     ok: u64,
@@ -174,6 +209,10 @@ struct ConnReport {
     deadline: u64,
     protocol_errors: u64,
     mismatches: u64,
+    retries: u64,
+    recovered: u64,
+    exhausted: u64,
+    lost: u64,
     histogram: Histogram,
 }
 
@@ -186,73 +225,259 @@ fn body_of(line: &str) -> &str {
     }
 }
 
+/// What one response line means to the load loop.
+enum Outcome {
+    Ok,
+    Busy,
+    Deadline,
+    Fatal,
+}
+
+fn classify(trimmed: &str) -> Outcome {
+    if trimmed.contains("\"ok\":true") {
+        Outcome::Ok
+    } else if trimmed.contains("\"error\":\"BUSY\"") {
+        Outcome::Busy
+    } else if trimmed.contains("\"error\":\"DEADLINE\"") {
+        Outcome::Deadline
+    } else {
+        // Any other failure (protocol error, SOLVE_FAILED, …) is a
+        // correctness problem for this deterministic workload.
+        Outcome::Fatal
+    }
+}
+
+fn connect_to(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set_write_timeout: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    Ok((BufReader::new(stream), writer))
+}
+
+/// Checks a successful shapley body against the run-wide canonical
+/// bytes, establishing them on first sight.
+fn check_canonical(
+    request: &str,
+    trimmed: &str,
+    canonical_shapley: &Arc<OnceLock<String>>,
+    report: &mut ConnReport,
+) {
+    if request.contains("\"kind\":\"shapley\"") || trimmed.contains("\"kind\":\"shapley\"") {
+        let body = body_of(trimmed).to_string();
+        let canonical = canonical_shapley.get_or_init(|| body.clone());
+        if *canonical != body {
+            report.mismatches += 1;
+        }
+    }
+}
+
 fn drive_connection(
     opts: &Options,
     conn_index: usize,
     canonical_shapley: &Arc<OnceLock<String>>,
 ) -> Result<ConnReport, String> {
-    let stream = TcpStream::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| format!("set timeout: {e}"))?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
-    let mut reader = BufReader::new(stream);
-
-    let mut rng = XorShift::new(opts.seed.wrapping_add(conn_index as u64).wrapping_mul(0x9E37_79B9));
+    let (mut reader, mut writer) = connect_to(&opts.addr)?;
+    let mut rng = ChaosRng::new(
+        opts.seed
+            .wrapping_add(conn_index as u64)
+            .wrapping_mul(0x9E37_79B9),
+    );
     let mut report = ConnReport::default();
     let mut line = String::new();
     for i in 0..opts.requests {
         let id = (conn_index * opts.requests + i) as u64;
         let request = request_line(&opts.kind, id, &mut rng);
         let started = Instant::now();
-        writer
-            .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .map_err(|e| format!("send: {e}"))?;
-        line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
-        if n == 0 {
-            return Err("server closed the connection mid-run".to_string());
+        let mut attempt: u32 = 0;
+        loop {
+            let sent = writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"));
+            let received = match sent {
+                Err(e) => Err(format!("send: {e}")),
+                Ok(()) => {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Err(e) => Err(format!("recv: {e}")),
+                        Ok(0) => Err("server closed the connection mid-run".to_string()),
+                        Ok(_) => Ok(()),
+                    }
+                }
+            };
+            if let Err(transport) = received {
+                // Reset/EOF: retryable via a fresh connection.
+                if attempt >= opts.retry {
+                    return Err(transport);
+                }
+                attempt += 1;
+                report.retries += 1;
+                std::thread::sleep(backoff(attempt, &mut rng));
+                let (r, w) = connect_to(&opts.addr)?;
+                reader = r;
+                writer = w;
+                continue;
+            }
+            let trimmed = line.trim_end();
+            let expected_id = format!("{{\"id\":{id},");
+            if !trimmed.starts_with(&expected_id) {
+                report.mismatches += 1;
+                break;
+            }
+            match classify(trimmed) {
+                Outcome::Ok => {
+                    report.ok += 1;
+                    if attempt > 0 {
+                        report.recovered += 1;
+                    }
+                    check_canonical(&request, trimmed, canonical_shapley, &mut report);
+                    break;
+                }
+                Outcome::Busy | Outcome::Deadline => {
+                    if attempt < opts.retry {
+                        attempt += 1;
+                        report.retries += 1;
+                        std::thread::sleep(backoff(attempt, &mut rng));
+                        continue;
+                    }
+                    if opts.retry > 0 {
+                        report.exhausted += 1;
+                    }
+                    if matches!(classify(trimmed), Outcome::Busy) {
+                        report.busy += 1;
+                    } else {
+                        report.deadline += 1;
+                    }
+                    break;
+                }
+                Outcome::Fatal => {
+                    report.protocol_errors += 1;
+                    break;
+                }
+            }
         }
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report.histogram.observe(elapsed_ns);
-        let trimmed = line.trim_end();
+    }
+    Ok(report)
+}
 
-        let expected_id = format!("{{\"id\":{id},");
-        if !trimmed.starts_with(&expected_id) {
-            report.mismatches += 1;
-            continue;
-        }
-        if trimmed.contains("\"ok\":true") {
-            report.ok += 1;
-            if request.contains("\"kind\":\"shapley\"") {
-                let body = body_of(trimmed).to_string();
-                let canonical = canonical_shapley.get_or_init(|| body.clone());
-                if *canonical != body {
-                    report.mismatches += 1;
-                }
+/// Extracts the numeric id from a `{"id":N,...` response line.
+fn id_of(trimmed: &str) -> Option<u64> {
+    let rest = trimmed.strip_prefix("{\"id\":")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn drive_open_loop(
+    opts: &Options,
+    conn_index: usize,
+    canonical_shapley: &Arc<OnceLock<String>>,
+) -> Result<ConnReport, String> {
+    let (reader, mut writer) = connect_to(&opts.addr)?;
+    let mut rng = ChaosRng::new(
+        opts.seed
+            .wrapping_add(conn_index as u64)
+            .wrapping_mul(0x9E37_79B9),
+    );
+    // Scheduled (ideal) send instants by id, shared with the reader so
+    // latency is charged from the arrival process, not the actual send.
+    let pending: Arc<Mutex<BTreeMap<u64, Instant>>> = Arc::new(Mutex::new(BTreeMap::new()));
+
+    let reader_pending = Arc::clone(&pending);
+    let reader_canonical = Arc::clone(canonical_shapley);
+    let collector = std::thread::spawn(move || {
+        let mut reader = reader;
+        let mut report = ConnReport::default();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
             }
-        } else if trimmed.contains("\"error\":\"BUSY\"") {
-            report.busy += 1;
-        } else if trimmed.contains("\"error\":\"DEADLINE\"") {
-            report.deadline += 1;
-        } else {
-            // Any other failure (protocol error, SOLVE_FAILED, …) is a
-            // correctness problem for this deterministic workload.
-            report.protocol_errors += 1;
+            let trimmed = line.trim_end();
+            let scheduled = id_of(trimmed).and_then(|id| {
+                reader_pending.lock().ok().and_then(|mut p| p.remove(&id))
+            });
+            let Some(scheduled) = scheduled else {
+                report.mismatches += 1;
+                continue;
+            };
+            let elapsed_ns =
+                u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            report.histogram.observe(elapsed_ns);
+            match classify(trimmed) {
+                Outcome::Ok => {
+                    report.ok += 1;
+                    check_canonical("", trimmed, &reader_canonical, &mut report);
+                }
+                Outcome::Busy => report.busy += 1,
+                Outcome::Deadline => report.deadline += 1,
+                Outcome::Fatal => report.protocol_errors += 1,
+            }
         }
+        report
+    });
+
+    let per_conn_rate = opts.rate / opts.connections as f64;
+    let start = Instant::now();
+    let mut offset = Duration::ZERO;
+    let mut send_failure: Option<String> = None;
+    for i in 0..opts.requests {
+        // Exponential inter-arrival: -ln(1-u)/λ seconds.
+        let u = rng.unit();
+        offset += Duration::from_secs_f64((-(1.0 - u).ln()) / per_conn_rate);
+        let scheduled = start + offset;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let id = (conn_index * opts.requests + i) as u64;
+        let request = request_line(&opts.kind, id, &mut rng);
+        if let Ok(mut p) = pending.lock() {
+            p.insert(id, scheduled);
+        }
+        if let Err(e) = writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+        {
+            send_failure = Some(format!("send: {e}"));
+            if let Ok(mut p) = pending.lock() {
+                p.remove(&id);
+            }
+            break;
+        }
+    }
+    // Drain: give the server a grace window to answer the tail, then
+    // close the read half so the collector unblocks.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < drain_deadline {
+        let outstanding = pending.lock().map(|p| p.len()).unwrap_or(0);
+        if outstanding == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+    let mut report = collector.join().unwrap_or_default();
+    report.lost += pending.lock().map(|p| p.len() as u64).unwrap_or(0);
+    if let Some(failure) = send_failure {
+        return Err(failure);
     }
     Ok(report)
 }
 
 fn send_shutdown(addr: &str) -> Result<(), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let (mut reader, mut writer) = connect_to(addr)?;
     writer
         .write_all(b"{\"id\":0,\"kind\":\"shutdown\"}\n")
         .map_err(|e| format!("send shutdown: {e}"))?;
-    let mut reader = BufReader::new(stream);
     let mut line = String::new();
     let _ = reader.read_line(&mut line);
     if line.contains("\"draining\":true") {
@@ -267,9 +492,16 @@ fn render_report(opts: &Options, total: &ConnReport, wall: Duration) -> String {
     let issued = total.ok + total.busy + total.deadline + total.protocol_errors + total.mismatches;
     let secs = wall.as_secs_f64();
     let rps = if secs > 0.0 { issued as f64 / secs } else { 0.0 };
+    let mode = if opts.open_loop { "open-loop" } else { "closed-loop" };
     format!(
-        "{{\n  \"kind\": \"{}\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"seed\": {},\n  \"issued\": {},\n  \"ok\": {},\n  \"busy\": {},\n  \"deadline\": {},\n  \"protocol_errors\": {},\n  \"mismatches\": {},\n  \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"latency_ns\": {{\n    \"mean\": {},\n    \"p50\": {},\n    \"p95\": {},\n    \"p99\": {},\n    \"max\": {}\n  }}\n}}",
+        "{{\n  \"kind\": \"{}\",\n  \"mode\": \"{}\",\n  \"offered_rps\": {},\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"seed\": {},\n  \"issued\": {},\n  \"ok\": {},\n  \"busy\": {},\n  \"deadline\": {},\n  \"protocol_errors\": {},\n  \"mismatches\": {},\n  \"lost\": {},\n  \"retry\": {{\n    \"max\": {},\n    \"attempts\": {},\n    \"recovered\": {},\n    \"exhausted\": {}\n  }},\n  \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"latency_ns\": {{\n    \"mean\": {},\n    \"p50\": {},\n    \"p95\": {},\n    \"p99\": {},\n    \"max\": {}\n  }}\n}}",
         opts.kind,
+        mode,
+        if opts.open_loop {
+            fedval_obs::json_f64(opts.rate)
+        } else {
+            "null".to_string()
+        },
         opts.connections,
         opts.requests,
         opts.seed,
@@ -279,6 +511,11 @@ fn render_report(opts: &Options, total: &ConnReport, wall: Duration) -> String {
         total.deadline,
         total.protocol_errors,
         total.mismatches,
+        total.lost,
+        opts.retry,
+        total.retries,
+        total.recovered,
+        total.exhausted,
         fedval_obs::json_f64(secs),
         fedval_obs::json_f64(rps),
         h.mean_ns(),
@@ -295,6 +532,10 @@ fn merge(total: &mut ConnReport, part: &ConnReport) {
     total.deadline += part.deadline;
     total.protocol_errors += part.protocol_errors;
     total.mismatches += part.mismatches;
+    total.retries += part.retries;
+    total.recovered += part.recovered;
+    total.exhausted += part.exhausted;
+    total.lost += part.lost;
     for (i, &n) in part.histogram.buckets.iter().enumerate() {
         total.histogram.buckets[i] += n;
     }
@@ -323,7 +564,12 @@ fn run() -> Result<(), String> {
         let canonical = Arc::clone(&canonical_shapley);
         let failures = Arc::clone(&failures);
         handles.push(std::thread::spawn(move || {
-            match drive_connection(&opts, conn_index, &canonical) {
+            let outcome = if opts.open_loop {
+                drive_open_loop(&opts, conn_index, &canonical)
+            } else {
+                drive_connection(&opts, conn_index, &canonical)
+            };
+            match outcome {
                 Ok(report) => Some(report),
                 Err(message) => {
                     if let Ok(mut sink) = failures.lock() {
@@ -356,10 +602,10 @@ fn run() -> Result<(), String> {
     if !failures.is_empty() {
         return Err(failures.join("\n"));
     }
-    if total.protocol_errors > 0 || total.mismatches > 0 {
+    if total.protocol_errors > 0 || total.mismatches > 0 || total.lost > 0 {
         return Err(format!(
-            "correctness failures: {} protocol errors, {} mismatches",
-            total.protocol_errors, total.mismatches
+            "correctness failures: {} protocol errors, {} mismatches, {} lost",
+            total.protocol_errors, total.mismatches, total.lost
         ));
     }
     Ok(())
@@ -396,6 +642,8 @@ mod tests {
             "mixed",
             "--seed",
             "7",
+            "--retry",
+            "3",
             "--out",
             "report.json",
             "--shutdown",
@@ -406,8 +654,17 @@ mod tests {
         assert_eq!(opts.requests, 10);
         assert_eq!(opts.kind, "mixed");
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.retry, 3);
         assert_eq!(opts.out.as_deref(), Some("report.json"));
         assert!(opts.shutdown);
+        assert!(!opts.open_loop);
+    }
+
+    #[test]
+    fn parses_open_loop_flags() {
+        let opts = parse(&args(&["--addr", "x", "--open-loop", "--rate", "2500"])).unwrap();
+        assert!(opts.open_loop);
+        assert!((opts.rate - 2500.0).abs() < 1e-9);
     }
 
     #[test]
@@ -415,22 +672,28 @@ mod tests {
         assert!(parse(&args(&[])).is_err(), "--addr is required");
         assert!(parse(&args(&["--addr", "x", "--connections", "0"])).is_err());
         assert!(parse(&args(&["--addr", "x", "--kind", "venetian"])).is_err());
+        assert!(parse(&args(&["--addr", "x", "--rate", "0"])).is_err());
+        assert!(parse(&args(&["--addr", "x", "--rate", "-3"])).is_err());
+        assert!(
+            parse(&args(&["--addr", "x", "--open-loop", "--retry", "2"])).is_err(),
+            "retry is closed-loop only"
+        );
         assert!(parse(&args(&["--addr"])).is_err());
     }
 
     #[test]
     fn request_stream_is_deterministic_per_seed() {
-        let mut a = XorShift::new(42);
-        let mut b = XorShift::new(42);
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
         for id in 0..50 {
             assert_eq!(
                 request_line("mixed", id, &mut a),
                 request_line("mixed", id, &mut b)
             );
         }
-        let mut c = XorShift::new(43);
+        let mut c = ChaosRng::new(43);
         let stream_a: Vec<String> = (0..50)
-            .map(|id| request_line("mixed", id, &mut XorShift::new(42 + id)))
+            .map(|id| request_line("mixed", id, &mut ChaosRng::new(42 + id)))
             .collect();
         let stream_c: Vec<String> = (0..50).map(|id| request_line("mixed", id, &mut c)).collect();
         assert_ne!(stream_a, stream_c, "different seeds, different streams");
@@ -442,5 +705,28 @@ mod tests {
         let b = "{\"id\":9,\"ok\":true,\"kind\":\"shapley\"}";
         assert_eq!(body_of(a), body_of(b));
         assert_eq!(body_of("garbage"), "garbage");
+    }
+
+    #[test]
+    fn id_of_parses_response_prefixes() {
+        assert_eq!(id_of("{\"id\":42,\"ok\":true}"), Some(42));
+        assert_eq!(id_of("{\"id\":null,\"ok\":false}"), None);
+        assert_eq!(id_of("garbage"), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_seeded() {
+        let mut rng = ChaosRng::new(9);
+        for attempt in 1..12 {
+            let d = backoff(attempt, &mut rng);
+            assert!(d <= Duration::from_millis(200), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_millis(2), "attempt {attempt}: {d:?}");
+        }
+        // Same seed, same jitter sequence.
+        let mut a = ChaosRng::new(5);
+        let mut b = ChaosRng::new(5);
+        let seq_a: Vec<Duration> = (1..6).map(|i| backoff(i, &mut a)).collect();
+        let seq_b: Vec<Duration> = (1..6).map(|i| backoff(i, &mut b)).collect();
+        assert_eq!(seq_a, seq_b);
     }
 }

@@ -27,6 +27,11 @@ struct Options {
     threads: usize,
     queue_depth: usize,
     deadline_ms: u64,
+    max_connections: usize,
+    io_timeout_ms: u64,
+    frame_deadline_ms: u64,
+    idle_timeout_ms: u64,
+    chaos_harness: bool,
     warm: bool,
     whatif_cache: usize,
     spec: ScenarioSpec,
@@ -44,6 +49,15 @@ fn usage() -> &'static str {
        --queue-depth N          bounded request queue; full => BUSY\n\
                                 (default 1024)\n\
        --deadline-ms MS         per-request queue deadline (default 2000)\n\
+       --max-connections N      accept-time connection cap; over it new\n\
+                                connections are shed with BUSY (default 256)\n\
+       --io-timeout-ms MS       per-socket read AND write timeout (default 10000)\n\
+       --frame-deadline-ms MS   max wall time for one frame, first byte to\n\
+                                newline — slowloris defense (default 10000)\n\
+       --idle-timeout-ms MS     close connections idle between frames this\n\
+                                long (default 60000)\n\
+       --chaos-harness          honour the chaos-panic query (fedchaos runs;\n\
+                                never enable in production)\n\
        --warm                   pre-warm all 2^n coalition values and the\n\
                                 shapley/nucleolus payloads before listening\n\
        --whatif-cache N         bounded LRU of derived what-if scenarios\n\
@@ -64,6 +78,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         threads: fedval_serve::server::available_threads(),
         queue_depth: 1024,
         deadline_ms: 2_000,
+        max_connections: 256,
+        io_timeout_ms: 10_000,
+        frame_deadline_ms: 10_000,
+        idle_timeout_ms: 60_000,
+        chaos_harness: false,
         warm: false,
         whatif_cache: 64,
         spec: ScenarioSpec::paper_4_1(),
@@ -74,6 +93,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
     while let Some(flag) = it.next() {
         if flag == "--warm" {
             opts.warm = true;
+            continue;
+        }
+        if flag == "--chaos-harness" {
+            opts.chaos_harness = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {
@@ -100,6 +123,32 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--deadline-ms" => {
                 opts.deadline_ms = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--max-connections" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+                if n == 0 {
+                    return Err("--max-connections must be at least 1".to_string());
+                }
+                opts.max_connections = n;
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = value.parse().map_err(|e| format!("--io-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--io-timeout-ms must be at least 1".to_string());
+                }
+                opts.io_timeout_ms = ms;
+            }
+            "--frame-deadline-ms" => {
+                opts.frame_deadline_ms = value
+                    .parse()
+                    .map_err(|e| format!("--frame-deadline-ms: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = value
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
             }
             "--whatif-cache" => {
                 opts.whatif_cache = value.parse().map_err(|e| format!("--whatif-cache: {e}"))?;
@@ -174,6 +223,11 @@ fn run() -> Result<(), String> {
         threads: opts.threads,
         queue_depth: opts.queue_depth,
         deadline: Duration::from_millis(opts.deadline_ms),
+        max_connections: opts.max_connections,
+        io_timeout: Duration::from_millis(opts.io_timeout_ms),
+        frame_deadline: Duration::from_millis(opts.frame_deadline_ms),
+        idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
+        chaos_panic: opts.chaos_harness,
     };
     let server = Server::start(state, &opts.addr, config)
         .map_err(|e| format!("bind {}: {e}", opts.addr))?;
@@ -185,13 +239,16 @@ fn run() -> Result<(), String> {
 
     let report = server.wait();
     println!(
-        "drained: accepted={} answered={} busy={} deadline_expired={} protocol_errors={} abandoned={}",
+        "drained: accepted={} answered={} busy={} deadline_expired={} protocol_errors={} shed={} worker_restarts={} abandoned={} open_conns={}",
         report.accepted,
         report.answered,
         report.busy,
         report.deadline_expired,
         report.protocol_errors,
+        report.shed,
+        report.worker_restarts,
         report.abandoned,
+        report.open_conns,
     );
     if opts.trace.is_some() {
         fedval_obs::shutdown();
@@ -277,9 +334,34 @@ mod tests {
     }
 
     #[test]
+    fn parses_robustness_flags() {
+        let opts = parse(&args(&[
+            "--max-connections",
+            "24",
+            "--io-timeout-ms",
+            "500",
+            "--frame-deadline-ms",
+            "1500",
+            "--idle-timeout-ms",
+            "4000",
+            "--chaos-harness",
+        ]))
+        .unwrap();
+        assert_eq!(opts.max_connections, 24);
+        assert_eq!(opts.io_timeout_ms, 500);
+        assert_eq!(opts.frame_deadline_ms, 1500);
+        assert_eq!(opts.idle_timeout_ms, 4000);
+        assert!(opts.chaos_harness);
+        // Chaos mode is opt-in.
+        assert!(!parse(&args(&[])).unwrap().chaos_harness);
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&args(&["--threads", "0"])).is_err());
         assert!(parse(&args(&["--queue-depth", "0"])).is_err());
+        assert!(parse(&args(&["--max-connections", "0"])).is_err());
+        assert!(parse(&args(&["--io-timeout-ms", "0"])).is_err());
         assert!(parse(&args(&["--locations", "1,x"])).is_err());
         assert!(parse(&args(&["--capacities", "1,2"])).is_err());
         assert!(parse(&args(&["--frobnicate", "1"])).is_err());

@@ -22,20 +22,30 @@
 //!   execution, the bounded what-if LRU.
 //! * [`lru`] — the deterministic bounded LRU map backing what-ifs.
 //! * [`server`] — acceptor / reader / worker threads, the bounded
-//!   queue with `BUSY` backpressure, deadlines, graceful drain.
+//!   queue with `BUSY` backpressure, per-connection read/write
+//!   deadlines with byte-progress tracking, worker supervision
+//!   (`catch_unwind` + deterministic respawn), accept-time connection
+//!   cap, graceful drain.
+//! * [`chaos`] — seeded deterministic fault injection (slowloris,
+//!   truncation, resets, mangling, stalled reads, connect floods,
+//!   deliberate worker panics) used by the `fedchaos` harness and the
+//!   chaos robustness suite.
 //!
-//! Two binaries ship with the crate: `fedval-serve` (the daemon) and
-//! `fedload` (a seeded closed-loop load generator that doubles as the
-//! correctness smoke-test driver in CI).
+//! Three binaries ship with the crate: `fedval-serve` (the daemon),
+//! `fedload` (a seeded load generator — closed-loop or open-loop
+//! Poisson arrivals — that doubles as the correctness smoke-test
+//! driver in CI), and `fedchaos` (the chaos campaign runner).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod lru;
 pub mod protocol;
 pub mod server;
 pub mod state;
 
+pub use chaos::{ChaosConfig, ChaosReport, ChaosRng, FaultKind};
 pub use protocol::{parse_request, ProtocolError, QueryKind, Request, MAX_FRAME};
 pub use server::{DrainReport, Server, ServerConfig, ServerStats};
 pub use state::{ScenarioSpec, ServeState};

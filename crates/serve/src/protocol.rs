@@ -146,6 +146,14 @@ pub enum QueryKind {
     /// Initiate graceful drain: stop accepting, answer everything
     /// already queued, then exit.
     Shutdown,
+    /// Deliberately panic inside a worker thread. Only honoured when the
+    /// server was started with [`chaos_panic`] enabled (the `fedchaos`
+    /// harness); otherwise answered `BAD_REQUEST` inline. Exists so the
+    /// worker-supervision path (catch_unwind → typed `INTERNAL` response
+    /// → deterministic respawn) is exercisable from outside the process.
+    ///
+    /// [`chaos_panic`]: crate::server::ServerConfig::chaos_panic
+    ChaosPanic,
 }
 
 impl QueryKind {
@@ -160,6 +168,7 @@ impl QueryKind {
             QueryKind::Health => "health",
             QueryKind::Stats => "stats",
             QueryKind::Shutdown => "shutdown",
+            QueryKind::ChaosPanic => "chaos-panic",
         }
     }
 }
@@ -262,6 +271,7 @@ pub fn parse_request(frame: &[u8]) -> Result<Request, ProtocolError> {
         "health" => QueryKind::Health,
         "stats" => QueryKind::Stats,
         "shutdown" => QueryKind::Shutdown,
+        "chaos-panic" => QueryKind::ChaosPanic,
         other => {
             return Err(ProtocolError::UnknownKind {
                 kind: other.to_string(),
@@ -553,7 +563,7 @@ impl Parser<'_> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryError {
     /// Stable uppercase wire code (`BUSY`, `DEADLINE`, `BAD_REQUEST`,
-    /// `SOLVE_FAILED`, `SHUTTING_DOWN`).
+    /// `SOLVE_FAILED`, `SHUTTING_DOWN`, `INTERNAL`, `SLOW_CLIENT`).
     pub code: &'static str,
     /// Human-readable detail.
     pub detail: String,
@@ -638,6 +648,9 @@ mod tests {
 
         let r = parse_request(b"{\"kind\":\"what-if-leave\",\"player\":1}").unwrap();
         assert_eq!(r.kind, QueryKind::WhatIfLeave { player: 1 });
+
+        let r = parse_request(b"{\"id\":3,\"kind\":\"chaos-panic\"}").unwrap();
+        assert_eq!(r.kind, QueryKind::ChaosPanic);
     }
 
     #[test]

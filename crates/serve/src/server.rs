@@ -39,6 +39,7 @@ use crate::state::{lock_recover, ServeState};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +54,29 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-request deadline, measured from enqueue to dequeue.
     pub deadline: Duration,
+    /// Accept-time cap on simultaneously served connections. A
+    /// connection accepted while the cap is reached is answered with a
+    /// single `BUSY` line and closed immediately (shed) — it never gets
+    /// a reader thread, so a connect flood cannot exhaust threads or
+    /// descriptors.
+    pub max_connections: usize,
+    /// Per-socket read *and* write timeout on every accepted
+    /// connection. A read that makes no byte progress across one whole
+    /// timeout window mid-frame closes the connection; a write that
+    /// cannot complete within it fails instead of pinning a worker on a
+    /// dead or stalled peer.
+    pub io_timeout: Duration,
+    /// Maximum wall time one frame may take from its first byte to its
+    /// newline. Defeats slow-drip (slowloris) clients that keep making
+    /// just enough byte progress to dodge the per-read timeout.
+    pub frame_deadline: Duration,
+    /// Maximum time a connection may sit idle *between* frames before
+    /// it is closed (silently — an idle close is not an error).
+    pub idle_timeout: Duration,
+    /// Honour the `chaos-panic` query (a deliberate worker panic used
+    /// by the `fedchaos` harness to prove worker supervision works).
+    /// Disabled by default; disabled servers answer it `BAD_REQUEST`.
+    pub chaos_panic: bool,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +85,11 @@ impl Default for ServerConfig {
             threads: available_threads(),
             queue_depth: 1024,
             deadline: Duration::from_millis(2_000),
+            max_connections: 256,
+            io_timeout: Duration::from_secs(10),
+            frame_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            chaos_panic: false,
         }
     }
 }
@@ -90,6 +119,22 @@ pub struct ServerStats {
     pub refused_draining: AtomicU64,
     /// Inline requests answered (health/stats/shutdown).
     pub inline_answered: AtomicU64,
+    /// Connections shed at accept time (`BUSY` + close, over the cap).
+    pub shed: AtomicU64,
+    /// Worker restarts: caught panics mid-request plus respawns of the
+    /// worker loop itself. `health` reports `degraded` whenever this
+    /// advanced since the previous probe.
+    pub worker_restarts: AtomicU64,
+    /// Requests answered with a typed `INTERNAL` error (the request
+    /// that was on a worker when it panicked — never silently lost).
+    pub internal_errors: AtomicU64,
+    /// Connections closed for stalling mid-frame or dripping bytes past
+    /// the frame deadline (slowloris defense), plus idle closes.
+    pub slow_closed: AtomicU64,
+    /// Response writes that failed (dead peer, write timeout). The
+    /// request still counts as answered; the bytes just had nowhere to
+    /// go.
+    pub write_failed: AtomicU64,
 }
 
 /// Final tally returned by [`Server::shutdown`] / [`Server::wait`].
@@ -105,10 +150,18 @@ pub struct DrainReport {
     pub deadline_expired: u64,
     /// Typed protocol errors returned.
     pub protocol_errors: u64,
+    /// Connections shed at accept time (over the connection cap).
+    pub shed: u64,
+    /// Worker restarts over the server's lifetime (caught panics).
+    pub worker_restarts: u64,
     /// Jobs still queued when the drain finished (always 0 — the
     /// workers drain the queue before exiting; reported so tests can
     /// assert it).
     pub abandoned: u64,
+    /// Connections still registered after every thread joined (always
+    /// 0 — readers deregister on exit; reported so tests can assert no
+    /// descriptor leaked).
+    pub open_conns: u64,
 }
 
 /// One queued compute request.
@@ -127,6 +180,11 @@ struct Shared {
     shutdown_signal: Mutex<bool>,
     shutdown_cv: Condvar,
     stats: ServerStats,
+    /// `worker_restarts` value at the last `health` probe: the probe
+    /// reports `degraded` when the counter advanced since, then
+    /// acknowledges it (one probe sees the degradation, the next sees
+    /// `ok` again unless workers kept restarting).
+    restarts_acked: AtomicU64,
     /// Live connections by id; readers deregister themselves on exit so
     /// short-lived connections don't leak file descriptors.
     conns: Mutex<std::collections::BTreeMap<u64, TcpStream>>,
@@ -164,6 +222,7 @@ impl Server {
             shutdown_signal: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             stats: ServerStats::default(),
+            restarts_acked: AtomicU64::new(0),
             conns: Mutex::new(std::collections::BTreeMap::new()),
             next_conn_id: AtomicU64::new(0),
             conn_threads: Mutex::new(Vec::new()),
@@ -173,7 +232,7 @@ impl Server {
         let workers = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || supervised_worker(&shared))
             })
             .collect();
 
@@ -247,7 +306,10 @@ impl Server {
             busy: stats.busy.load(Ordering::Relaxed),
             deadline_expired: stats.deadline_expired.load(Ordering::Relaxed),
             protocol_errors: stats.protocol_errors.load(Ordering::Relaxed),
+            shed: stats.shed.load(Ordering::Relaxed),
+            worker_restarts: stats.worker_restarts.load(Ordering::Relaxed),
             abandoned: lock_recover(&self.shared.queue).len() as u64,
+            open_conns: lock_recover(&self.shared.conns).len() as u64,
         }
     }
 
@@ -280,6 +342,27 @@ fn initiate_shutdown(shared: &Shared, local_addr: SocketAddr) {
     }
 }
 
+/// Joins reader threads that already finished so a long-lived server
+/// under connection churn does not accumulate dead `JoinHandle`s.
+fn reap_finished_readers(shared: &Shared) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut threads = lock_recover(&shared.conn_threads);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                out.push(threads.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    };
+    for handle in finished {
+        let _ = handle.join();
+    }
+}
+
 fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
@@ -290,9 +373,35 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     drop(stream);
                     return;
                 }
+                reap_finished_readers(shared);
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 fedval_obs::counter_add("serve.conn.accepted", 1);
                 let _ = stream.set_nodelay(true);
+                // Both timeouts, before any byte moves: a peer that
+                // stops reading or writing can cost at most io_timeout
+                // per blocked operation, never a pinned thread.
+                let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+                let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+                if lock_recover(&shared.conns).len() >= shared.config.max_connections {
+                    // Shed: one BUSY line, then close. No reader thread
+                    // is spawned and nothing is registered, so a connect
+                    // flood is bounded work per connection.
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    fedval_obs::counter_add("serve.conn.shed", 1);
+                    let mut stream = stream;
+                    let line = render_err(
+                        None,
+                        "BUSY",
+                        &format!(
+                            "connection limit reached (max {})",
+                            shared.config.max_connections
+                        ),
+                    );
+                    let _ = stream
+                        .write_all(line.as_bytes())
+                        .and_then(|()| stream.write_all(b"\n"));
+                    continue;
+                }
                 let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 match stream.try_clone() {
                     Ok(registered) => {
@@ -333,16 +442,29 @@ enum FrameRead {
     TooLarge,
     /// Clean end of stream.
     Eof,
+    /// The socket read timeout expired. Any partial frame stays in
+    /// `buf`; the caller decides between waiting more (byte progress
+    /// was made, frame deadline not reached) and closing (stalled).
+    TimedOut,
 }
 
 /// Reads one newline-terminated frame into `buf` (newline stripped,
-/// trailing `\r` stripped), bounding memory at [`MAX_FRAME`].
+/// trailing `\r` stripped), bounding memory at [`MAX_FRAME`]. The
+/// caller clears `buf` between frames — on [`FrameRead::TimedOut`] the
+/// partial frame is preserved so the read can resume.
 fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<FrameRead> {
-    buf.clear();
     loop {
         let available = match reader.fill_buf() {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(FrameRead::TimedOut)
+            }
             Err(e) => return Err(e),
         };
         if available.is_empty() {
@@ -380,12 +502,23 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<FrameR
     }
 }
 
-/// Writes one response line; a failed write means the client left.
-fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+/// Writes one response line; returns whether the bytes went out. A
+/// failed write means the client left or stalled past the write
+/// timeout — either way the connection is done for.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
     let mut stream = lock_recover(writer);
-    let _ = stream
+    stream
         .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"));
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
+}
+
+/// [`write_line`] plus the failed-write tally.
+fn respond(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    if !write_line(writer, line) {
+        shared.stats.write_failed.fetch_add(1, Ordering::Relaxed);
+        fedval_obs::counter_add("serve.io.write_failed", 1);
+    }
 }
 
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
@@ -395,33 +528,80 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     };
     let mut reader = BufReader::with_capacity(16 * 1024, stream);
     let mut buf = Vec::with_capacity(256);
+    // Byte-progress deadline tracking: `frame_started` is set at the
+    // first timeout tick that observes a partial frame; `last_len` is
+    // the partial length at the previous tick; `idle_since` restarts
+    // whenever a frame completes.
+    let mut idle_since = Instant::now();
+    let mut frame_started: Option<Instant> = None;
+    let mut last_len = 0usize;
     loop {
         match read_frame(&mut reader, &mut buf) {
             Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::TimedOut) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if buf.is_empty() {
+                    // Idle between frames: tolerated up to idle_timeout,
+                    // then closed silently — the client sent nothing we
+                    // could answer.
+                    if idle_since.elapsed() >= shared.config.idle_timeout {
+                        shared.stats.slow_closed.fetch_add(1, Ordering::Relaxed);
+                        fedval_obs::counter_add("serve.conn.idle_closed", 1);
+                        return;
+                    }
+                    continue;
+                }
+                let started = *frame_started.get_or_insert_with(Instant::now);
+                let progressed = buf.len() > last_len;
+                last_len = buf.len();
+                if progressed && started.elapsed() < shared.config.frame_deadline {
+                    continue;
+                }
+                // Mid-frame stall (no byte progress across a whole
+                // timeout window) or slow drip past the frame deadline:
+                // a slowloris peer must not pin this reader thread.
+                shared.stats.slow_closed.fetch_add(1, Ordering::Relaxed);
+                fedval_obs::counter_add("serve.conn.slow_closed", 1);
+                respond(
+                    shared,
+                    &writer,
+                    &render_err(None, "SLOW_CLIENT", "frame stalled mid-read; closing"),
+                );
+                return;
+            }
             Ok(FrameRead::TooLarge) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 fedval_obs::counter_add("serve.protocol.errors", 1);
                 let err = ProtocolError::FrameTooLarge { len: MAX_FRAME + 1 };
-                write_line(&writer, &render_err(None, err.code(), &err.to_string()));
+                respond(shared, &writer, &render_err(None, err.code(), &err.to_string()));
                 // Unrecoverable mid-frame: close rather than misparse
                 // the remainder of the oversized frame as new frames.
                 return;
             }
             Ok(FrameRead::Frame) => {
-                if buf.is_empty() {
-                    continue; // blank keep-alive line
-                }
-                match parse_request(&buf) {
-                    Err(err) => {
-                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        fedval_obs::counter_add("serve.protocol.errors", 1);
-                        write_line(&writer, &render_err(None, err.code(), &err.to_string()));
-                        if err.is_fatal() {
-                            return;
+                frame_started = None;
+                last_len = 0;
+                idle_since = Instant::now();
+                if !buf.is_empty() {
+                    match parse_request(&buf) {
+                        Err(err) => {
+                            shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            fedval_obs::counter_add("serve.protocol.errors", 1);
+                            respond(
+                                shared,
+                                &writer,
+                                &render_err(None, err.code(), &err.to_string()),
+                            );
+                            if err.is_fatal() {
+                                return;
+                            }
                         }
+                        Ok(request) => dispatch(shared, &writer, request),
                     }
-                    Ok(request) => dispatch(shared, &writer, request),
                 }
+                buf.clear();
             }
         }
     }
@@ -434,18 +614,27 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reque
     match request.kind {
         QueryKind::Health => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
-            let status = if shared.shutting_down.load(Ordering::SeqCst) {
-                "draining"
+            // Degradation latch: `degraded` exactly when workers
+            // restarted since the previous probe, then acknowledge, so
+            // one probe observes the incident and the next reports `ok`
+            // again unless restarts continued.
+            let restarts = shared.stats.worker_restarts.load(Ordering::Relaxed);
+            let acked = shared.restarts_acked.swap(restarts, Ordering::Relaxed);
+            let payload = if shared.shutting_down.load(Ordering::SeqCst) {
+                "\"kind\":\"health\",\"status\":\"draining\"".to_string()
+            } else if restarts > acked {
+                format!(
+                    "\"kind\":\"health\",\"status\":\"degraded\",\"worker_restarts\":{restarts}"
+                )
             } else {
-                "ok"
+                "\"kind\":\"health\",\"status\":\"ok\"".to_string()
             };
-            let payload = format!("\"kind\":\"health\",\"status\":\"{status}\"");
-            write_line(writer, &render_ok(request.id, &payload));
+            respond(shared, writer, &render_ok(request.id, &payload));
         }
         QueryKind::Stats => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
             let payload = stats_payload(shared);
-            write_line(writer, &render_ok(request.id, &payload));
+            respond(shared, writer, &render_ok(request.id, &payload));
         }
         QueryKind::Shutdown => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
@@ -454,9 +643,22 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reque
             // normally. This also half-closes our own socket; the next
             // read_frame sees EOF and the reader thread exits.
             initiate_shutdown(shared, local_addr_of(shared));
-            write_line(
+            respond(
+                shared,
                 writer,
                 &render_ok(request.id, "\"kind\":\"shutdown\",\"draining\":true"),
+            );
+        }
+        QueryKind::ChaosPanic if !shared.config.chaos_panic => {
+            shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            respond(
+                shared,
+                writer,
+                &render_err(
+                    request.id,
+                    "BAD_REQUEST",
+                    "chaos-panic is disabled; start the server with --chaos-harness",
+                ),
             );
         }
         _ => enqueue(shared, writer, request),
@@ -479,7 +681,8 @@ fn local_addr_of(shared: &Shared) -> SocketAddr {
 fn enqueue(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Request) {
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.stats.refused_draining.fetch_add(1, Ordering::Relaxed);
-        write_line(
+        respond(
+            shared,
             writer,
             &render_err(request.id, "SHUTTING_DOWN", "server is draining"),
         );
@@ -491,7 +694,8 @@ fn enqueue(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reques
             drop(queue);
             shared.stats.busy.fetch_add(1, Ordering::Relaxed);
             fedval_obs::counter_add("serve.busy", 1);
-            write_line(
+            respond(
+                shared,
                 writer,
                 &render_err(
                     request.id,
@@ -510,6 +714,24 @@ fn enqueue(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reques
     };
     fedval_obs::gauge_set("serve.queue.depth", depth as f64);
     shared.queue_cv.notify_one();
+}
+
+/// Outer supervision shell around [`worker_loop`]: a panic that
+/// escapes the per-job guard (e.g. inside queue bookkeeping) respawns
+/// the loop in place instead of silently shrinking the pool. The
+/// respawn is deterministic — same thread, same shared state, the
+/// queue and its condvar are untouched — so a chaos run with a fixed
+/// seed reproduces the identical recovery sequence.
+fn supervised_worker(shared: &Arc<Shared>) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(shared))).is_ok() {
+            // Clean exit: drain finished with the queue empty.
+            return;
+        }
+        shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        fedval_obs::counter_add("serve.worker.restarts", 1);
+        // Respawn even mid-drain: queued jobs still deserve answers.
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -546,7 +768,8 @@ fn process(shared: &Shared, job: Job) {
     if waited > shared.config.deadline {
         shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         fedval_obs::counter_add("serve.deadline_expired", 1);
-        write_line(
+        respond(
+            shared,
             &writer,
             &render_err(
                 request.id,
@@ -560,11 +783,28 @@ fn process(shared: &Shared, job: Job) {
         );
         return;
     }
-    let line = match shared.state.execute(&request.kind) {
-        Ok(payload) => render_ok(request.id, &payload),
-        Err(err) => render_err(request.id, err.code, &err.detail),
+    // Per-job guard: a panicking query (a state bug, or the deliberate
+    // `chaos-panic` injection) becomes a typed `INTERNAL` response to
+    // the client who asked — never a silently lost request — and the
+    // worker recovers in place. Counted as a worker restart so `health`
+    // degrades and operators see it.
+    let outcome = catch_unwind(AssertUnwindSafe(|| shared.state.execute(&request.kind)));
+    let line = match outcome {
+        Ok(Ok(payload)) => render_ok(request.id, &payload),
+        Ok(Err(err)) => render_err(request.id, err.code, &err.detail),
+        Err(_) => {
+            shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.worker.restarts", 1);
+            fedval_obs::counter_add("serve.req.internal", 1);
+            render_err(
+                request.id,
+                "INTERNAL",
+                "worker panicked mid-request; worker recovered",
+            )
+        }
     };
-    write_line(&writer, &line);
+    respond(shared, &writer, &line);
     shared.stats.answered.fetch_add(1, Ordering::Relaxed);
     let total_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
     fedval_obs::observe_ns("serve.request_ns", total_ns);
@@ -582,6 +822,7 @@ fn counter_for_kind(kind: &QueryKind) {
         QueryKind::Health => "serve.req.health",
         QueryKind::Stats => "serve.req.stats",
         QueryKind::Shutdown => "serve.req.shutdown",
+        QueryKind::ChaosPanic => "serve.req.chaos_panic",
     };
     fedval_obs::counter_add(name, 1);
 }
@@ -589,8 +830,9 @@ fn counter_for_kind(kind: &QueryKind) {
 fn stats_payload(shared: &Shared) -> String {
     let stats = &shared.stats;
     let queue_depth = lock_recover(&shared.queue).len();
+    let open_conns = lock_recover(&shared.conns).len();
     format!(
-        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
+        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"shed\":{},\"worker_restarts\":{},\"internal_errors\":{},\"slow_closed\":{},\"write_failed\":{},\"open_conns\":{},\"max_connections\":{},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
         shared.state.n(),
         shared.started.elapsed().as_millis(),
         shared.config.threads,
@@ -603,6 +845,13 @@ fn stats_payload(shared: &Shared) -> String {
         stats.deadline_expired.load(Ordering::Relaxed),
         stats.protocol_errors.load(Ordering::Relaxed),
         stats.refused_draining.load(Ordering::Relaxed),
+        stats.shed.load(Ordering::Relaxed),
+        stats.worker_restarts.load(Ordering::Relaxed),
+        stats.internal_errors.load(Ordering::Relaxed),
+        stats.slow_closed.load(Ordering::Relaxed),
+        stats.write_failed.load(Ordering::Relaxed),
+        open_conns,
+        shared.config.max_connections,
         shared.state.whatif_hits(),
         shared.state.whatif_misses(),
         shared.state.coalitions_cached(),

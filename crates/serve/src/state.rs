@@ -269,6 +269,16 @@ impl ServeState {
             QueryKind::WhatIfLeave { player } => {
                 self.what_if(WhatIfKey::Leave { player: *player })
             }
+            QueryKind::ChaosPanic => {
+                // Deliberate fault injection: the server only routes
+                // this kind here when started with `--chaos-harness`,
+                // and the worker's catch_unwind turns the panic into a
+                // typed INTERNAL response. This is how the fedchaos
+                // suite proves worker supervision end to end.
+                fedval_obs::counter_add("serve.chaos.panic_injected", 1);
+                // lint: allow(no-panic-path) — chaos harness: this panic is the fault being injected
+                panic!("chaos-panic: deliberate injected worker panic");
+            }
             // Health / stats / shutdown are answered by the server
             // inline and never reach the compute path.
             other => Err(QueryError::new(

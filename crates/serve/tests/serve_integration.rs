@@ -77,6 +77,7 @@ fn saturation_yields_busy_and_every_request_gets_a_response() {
         threads: 1,
         queue_depth: 1,
         deadline: Duration::from_secs(120),
+        ..ServerConfig::default()
     };
     let server = Server::start(state, "127.0.0.1:0", config).expect("start server");
     let (mut reader, mut stream) = connect(&server);
