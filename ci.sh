@@ -17,7 +17,10 @@ set -eu
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q (workspace)"
+echo "== cargo test -q (workspace; dev profile arms the lock-order checker)"
+# Tests run under debug_assertions, so every OrderedMutex/OrderedRwLock
+# acquisition is recorded in the runtime lock-order graph and any
+# witnessed cycle panics with its path (DESIGN.md §12).
 cargo test -q --workspace
 
 echo "== clippy panic-discipline (all crates, lib targets only)"
@@ -184,7 +187,22 @@ if ! cargo run -q -p fedval-lint --release; then
     echo "ci.sh: fedval-lint found NEW findings above the committed baseline."
     echo "The delta is listed above. Fix each finding, or justify it with an"
     echo "inline marker:  // lint: allow(<rule>) — <reason>"
+    echo "For the reasoning behind any rule, run:"
+    echo "    cargo run -p fedval-lint --release -- --explain <rule>"
     echo "Pre-existing budgeted debt never fails; only new debt does."
+    exit 1
+fi
+
+echo "== fedval-analyze runtime cross-check (lock-order checker self-tests)"
+# The static lock-order rules above pair with the dynamic checker in
+# fedval_obs::lockorder; its self-tests prove the checker still panics
+# on witnessed cycles (a silently disarmed checker would let the whole
+# debug-profile suite above vouch for nothing).
+if ! cargo test -q -p fedval-obs --lib lockorder; then
+    echo ""
+    echo "ci.sh: the runtime lock-order checker's self-tests failed — the"
+    echo "dynamic half of DESIGN.md §12 is broken, so debug-profile test"
+    echo "runs no longer witness acquisition-order violations."
     exit 1
 fi
 

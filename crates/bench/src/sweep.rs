@@ -92,7 +92,10 @@ where
     let finished: Mutex<Vec<Finished<T>>> = Mutex::new(Vec::with_capacity(points.len()));
     let next: AtomicUsize = AtomicUsize::new(0);
     let worker = |_: ()| loop {
-        let index = next.fetch_add(1, Ordering::SeqCst);
+        // Relaxed suffices: work-index uniqueness needs only the RMW's
+        // atomicity, and result publication synchronizes through the
+        // `finished` mutex.
+        let index = next.fetch_add(1, Ordering::Relaxed);
         if index >= points.len() {
             return;
         }

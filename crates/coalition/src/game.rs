@@ -5,7 +5,8 @@ use crate::coalition::{Coalition, PlayerId};
 use crate::error::GameError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use fedval_obs::OrderedMutex;
+use std::sync::Condvar;
 
 /// A transferable-utility coalitional game `(N, V)`.
 ///
@@ -196,7 +197,12 @@ enum Slot {
 /// ordering (fedval-lint rule `nondeterministic-iteration`).
 pub struct CachedGame<G> {
     inner: G,
-    cache: Mutex<BTreeMap<u64, Slot>>,
+    /// An [`OrderedMutex`] so every test run validates the workspace
+    /// lock-acquisition order dynamically (DESIGN.md §12). Poison
+    /// recovery lives inside the wrapper: the map only ever holds
+    /// coherent Ready/Pending entries (a panicking inner evaluation
+    /// cleans its sentinel up via `EvalGuard` before the lock drops).
+    cache: OrderedMutex<BTreeMap<u64, Slot>>,
     ready: Condvar,
 }
 
@@ -205,14 +211,15 @@ impl<G: CoalitionalGame> CachedGame<G> {
     pub fn new(inner: G) -> CachedGame<G> {
         CachedGame {
             inner,
-            cache: Mutex::new(BTreeMap::new()),
+            cache: OrderedMutex::new("coalition.cache", BTreeMap::new()),
             ready: Condvar::new(),
         }
     }
 
     /// Number of memoized (finished) coalition values.
     pub fn cached_len(&self) -> usize {
-        self.lock_cache()
+        self.cache
+            .lock()
             .values()
             .filter(|slot| matches!(slot, Slot::Ready(_)))
             .count()
@@ -265,25 +272,6 @@ impl<G: CoalitionalGame> CachedGame<G> {
         self.cached_len()
     }
 
-    fn lock_cache(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
-        match self.cache.lock() {
-            Ok(guard) => guard,
-            // The map only ever holds coherent Ready/Pending entries (a
-            // panicking inner evaluation cleans its sentinel up via
-            // EvalGuard before the lock is released), so recover.
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    fn wait_ready<'a>(
-        &self,
-        guard: MutexGuard<'a, BTreeMap<u64, Slot>>,
-    ) -> MutexGuard<'a, BTreeMap<u64, Slot>> {
-        match self.ready.wait(guard) {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
 }
 
 /// Removes the `Pending` sentinel if the inner evaluation unwinds before
@@ -296,7 +284,7 @@ struct EvalGuard<'a, G: CoalitionalGame> {
 
 impl<G: CoalitionalGame> Drop for EvalGuard<'_, G> {
     fn drop(&mut self) {
-        let mut cache = self.game.lock_cache();
+        let mut cache = self.game.cache.lock();
         if matches!(cache.get(&self.key), Some(Slot::Pending)) {
             cache.remove(&self.key);
         }
@@ -313,7 +301,7 @@ impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
     fn value(&self, coalition: Coalition) -> f64 {
         let key = coalition.0;
         {
-            let mut cache = self.lock_cache();
+            let mut cache = self.cache.lock();
             let mut raced = false;
             loop {
                 match cache.get(&key) {
@@ -331,7 +319,7 @@ impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
                             // inner evaluation.
                             fedval_obs::counter_add("coalition.cache.duplicate_evals", 1);
                         }
-                        cache = self.wait_ready(cache);
+                        cache = self.cache.wait(&self.ready, cache);
                     }
                     None => {
                         cache.insert(key, Slot::Pending);
@@ -344,7 +332,7 @@ impl<G: CoalitionalGame> CoalitionalGame for CachedGame<G> {
         let guard = EvalGuard { game: self, key };
         let v = self.inner.value(coalition);
         {
-            let mut cache = self.lock_cache();
+            let mut cache = self.cache.lock();
             cache.insert(key, Slot::Ready(v));
         }
         // The guard finds the slot Ready (nothing to clean up) and

@@ -167,13 +167,7 @@ mod tests {
     use super::*;
 
     fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
-        Finding {
-            rule,
-            file: file.to_string(),
-            line,
-            krate: "core".to_string(),
-            message: String::new(),
-        }
+        Finding::new(rule, file, line, "core", String::new())
     }
 
     #[test]

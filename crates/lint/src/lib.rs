@@ -6,7 +6,8 @@
 //! The paper's "compute ϕ̂ᵢ off-line" policy loop is only trustworthy if
 //! every coalition value is reproducible and panic-free. Generic tooling
 //! cannot express those invariants, so this crate ships a lightweight
-//! Rust lexer ([`lexer`]) and seven fedval-specific rules ([`rules`]):
+//! Rust lexer ([`lexer`]), eight per-file rules ([`rules`]), and the
+//! cross-file `fedval-analyze` concurrency pass ([`model`] + [`analyze`]):
 //!
 //! | rule | discipline |
 //! |------|------------|
@@ -16,14 +17,21 @@
 //! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in value-affecting crates |
 //! | `errors-doc` | `pub fn … -> Result` documents `# Errors` |
 //! | `println-in-lib` | no `print!`-family macros in lib code (bins/examples exempt) |
+//! | `socket-timeouts` | every `TcpStream` file sets both socket deadlines |
 //! | `allow-audit` | every suppression carries a justification |
+//! | `lock-order-cycle` | one global lock-acquisition order, no cycles |
+//! | `guard-across-blocking` | no guard held across blocking calls |
+//! | `wall-clock-in-deterministic-path` | no `Instant::now`/`SystemTime` in seeded crates |
+//! | `atomic-ordering-audit` | `Relaxed` flags / `SeqCst` counters need review |
 //!
 //! Findings are diffed against a committed [`baseline`]
 //! (`lint-baseline.toml`): pre-existing debt warns, *new* debt fails.
-//! See `DESIGN.md` §7 for the full workflow.
+//! See `DESIGN.md` §7 and §12 for the full workflow.
 
+pub mod analyze;
 pub mod baseline;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod walker;
@@ -57,10 +65,13 @@ impl WorkspaceReport {
 /// pass.
 pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<WorkspaceReport> {
     let mut findings = Vec::new();
+    let mut models = Vec::new();
     for src in walker::collect_sources(root)? {
         let text = std::fs::read_to_string(&src.path)?;
         findings.extend(rules::lint_file(&text, &src.rel, &src.krate));
+        models.push(model::FileModel::parse(&text, &src.rel, &src.krate));
     }
+    findings.extend(analyze::analyze(&models));
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

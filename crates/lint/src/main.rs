@@ -25,6 +25,7 @@ USAGE:
 OPTIONS:
     --json               emit machine-readable JSON instead of the report
     --update-baseline    rewrite the baseline to exactly cover current findings
+    --explain <RULE>     print the rationale behind a rule and exit
     --root <PATH>        workspace root (default: autodetected from cwd)
     --baseline <PATH>    baseline file (default: <root>/lint-baseline.toml)
     --help               print this help
@@ -37,6 +38,7 @@ EXIT CODES:
 struct Options {
     json: bool,
     update_baseline: bool,
+    explain: Option<String>,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
 }
@@ -45,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options {
         json: false,
         update_baseline: false,
+        explain: None,
         root: None,
         baseline: None,
     };
@@ -53,6 +56,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--update-baseline" => opts.update_baseline = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain requires a rule name argument")?;
+                opts.explain = Some(v.clone());
+            }
             "--root" => {
                 let v = it.next().ok_or("--root requires a path argument")?;
                 opts.root = Some(PathBuf::from(v));
@@ -89,6 +96,20 @@ fn run() -> Result<ExitCode, String> {
         emit("\n");
         return Ok(ExitCode::SUCCESS);
     };
+
+    if let Some(rule) = &opts.explain {
+        let Some(text) = fedval_lint::rules::explain(rule) else {
+            return Err(format!(
+                "unknown rule `{rule}` — known rules: {}",
+                fedval_lint::rules::RULE_NAMES.join(", ")
+            ));
+        };
+        emit(&format!(
+            "{rule} [{}]\n\n{text}\n",
+            fedval_lint::rules::severity_of(rule)
+        ));
+        return Ok(ExitCode::SUCCESS);
+    }
 
     let root = match opts.root {
         Some(r) => r,

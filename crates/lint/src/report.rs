@@ -71,12 +71,14 @@ pub fn json(findings: &[Finding], deltas: &[Delta]) -> String {
     for (i, f) in findings.iter().enumerate() {
         let _ = write!(
             out,
-            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"crate\": {}, \"message\": {}}}",
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"crate\": {}, \"severity\": {}, \"id\": {}, \"message\": {}}}",
             if i == 0 { "" } else { "," },
             escape(f.rule),
             escape(&f.file),
             f.line,
             escape(&f.krate),
+            escape(f.severity),
+            escape(&f.id),
             escape(&f.message)
         );
     }
@@ -142,6 +144,8 @@ mod tests {
             line,
             krate: crate::walker::crate_of(file),
             message: format!("m{line}"),
+            severity: crate::rules::severity_of(rule),
+            id: format!("{rule}:{file}:deadbeefdeadbeef"),
         }
     }
 
@@ -169,6 +173,8 @@ mod tests {
         assert!(j.contains("\\n"));
         assert!(j.contains("\"total\": 1"));
         assert!(j.contains("\"new\": 0"));
+        assert!(j.contains("\"severity\": \"error\""));
+        assert!(j.contains("\"id\": \"float-eq:"));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 
 use crate::lexer::{test_mask, Tok, TokKind};
 
-/// Rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 8] = [
+/// Rule identifiers, in reporting order. The first eight are per-file
+/// token rules; the last four are the cross-file `fedval-analyze` pass
+/// (see [`crate::analyze`]).
+pub const RULE_NAMES: [&str; 12] = [
     "no-panic-path",
     "float-eq",
     "lossy-cast",
@@ -26,7 +28,83 @@ pub const RULE_NAMES: [&str; 8] = [
     "println-in-lib",
     "socket-timeouts",
     "allow-audit",
+    "lock-order-cycle",
+    "guard-across-blocking",
+    "wall-clock-in-deterministic-path",
+    "atomic-ordering-audit",
 ];
+
+/// The rationale behind a rule, for `fedval-lint --explain <rule>` and
+/// CI failure messages. Returns `None` for unknown rule names.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "no-panic-path" => {
+            "unwrap()/expect() and panic-family macros abort the value pipeline mid-run. \
+             Library code must propagate failures as FedError so degraded scenarios produce \
+             diagnostics instead of a dead process. Suppress only for a documented invariant: \
+             // lint: allow(no-panic-path) — <why it cannot fail>."
+        }
+        "float-eq" => {
+            "Comparing floats with ==/!= against a literal is seed-fragile: two pipelines \
+             that differ by one rounding step diverge silently. Use is_zero/approx_eq from \
+             fedval_core::approx with an explicit tolerance."
+        }
+        "lossy-cast" => {
+            "`as` casts to sub-64-bit targets (and float→int truncations) wrap or truncate \
+             silently. Coalition masks and player counts have overflowed this way before; \
+             use try_from or justify the bound with a lint marker."
+        }
+        "nondeterministic-iteration" => {
+            "HashMap/HashSet iteration order depends on the hash seed, so any fold over it \
+             perturbs published ϕ̂ numbers between runs. Value-affecting crates use \
+             BTreeMap/BTreeSet or sorted Vecs."
+        }
+        "errors-doc" => {
+            "A pub fn returning Result is API surface: callers need the failure modes in a \
+             `# Errors` doc section to decide what to catch versus propagate."
+        }
+        "println-in-lib" => {
+            "Libraries writing to stdout corrupt machine-read output (CSV, JSONL traces) and \
+             cannot be silenced by callers. Report through return values or a fedval-obs sink."
+        }
+        "socket-timeouts" => {
+            "Every TcpStream needs both set_read_timeout and set_write_timeout (DESIGN.md \
+             §11): without deadlines one stalled peer pins a thread forever. Applies to \
+             client bins (fedload, fedchaos) as much as to the daemon."
+        }
+        "allow-audit" => {
+            "Every suppression leaves an audit trail: #[allow(..)] needs an adjacent \
+             justifying comment, and lint markers need a known rule name plus a reason of \
+             at least 8 characters. Hollow markers suppress nothing."
+        }
+        "lock-order-cycle" => {
+            "Two threads taking the same locks in opposite orders is the canonical deadlock. \
+             fedval-analyze builds the workspace acquisition-order graph (guard of A live \
+             while B is acquired, directly or through the call graph) and reports every \
+             cycle with a witness path. Fix by picking one global order; the runtime \
+             OrderedMutex/OrderedRwLock checker panics if a test witnesses a cycle the \
+             static model missed."
+        }
+        "guard-across-blocking" => {
+            "A guard held across socket I/O, thread::sleep, recv, join, or a Condvar wait on \
+             a different lock turns one slow peer into a pile-up on the lock (DESIGN.md §11's \
+             stalled-reader scenario). Drop the guard before blocking, or justify the hold \
+             with a lint marker when the lock exists precisely to serialize that I/O."
+        }
+        "wall-clock-in-deterministic-path" => {
+            "ϕ̂ must be a function of (scenario, seed) alone. Instant::now/SystemTime inside \
+             coalition/desim/simplex/core or the bench sweep leaks wall-clock into seeded \
+             pipelines; route timing through fedval-obs or justify with a marker."
+        }
+        "atomic-ordering-audit" => {
+            "Ordering::Relaxed on an AtomicBool cross-thread flag usually fails to publish \
+             the writes the flag guards (use Acquire/Release); SeqCst on a plain counter RMW \
+             buys nothing but a full fence. Severity warn: each hit is answered by fixing \
+             the ordering or by a justified marker explaining why it is load-bearing."
+        }
+        _ => return None,
+    })
+}
 
 /// Crates whose outputs feed Shapley/nucleolus/policy pipelines: any
 /// nondeterminism here (e.g. `HashMap` iteration order) can perturb
@@ -48,17 +126,102 @@ pub struct Finding {
     pub krate: String,
     /// Human-readable description of the violation.
     pub message: String,
+    /// `"error"` or `"warn"` (see [`severity_of`]).
+    pub severity: &'static str,
+    /// Stable id `rule:file:hash(snippet)` — survives pure line drift
+    /// because the hash covers the trimmed source line, not its number.
+    /// Duplicate snippets in one file get an ordinal suffix (`:2`, …).
+    pub id: String,
+}
+
+/// The severity a rule reports at. `atomic-ordering-audit` is a review
+/// prompt (each hit is answered by a fix *or* a justified marker), so it
+/// warns; everything else is an error.
+pub fn severity_of(rule: &str) -> &'static str {
+    if rule == "atomic-ordering-audit" {
+        "warn"
+    } else {
+        "error"
+    }
+}
+
+impl Finding {
+    /// Builds a finding with severity derived from the rule and an empty
+    /// id (ids are assigned per file once line content is known, see
+    /// [`assign_ids`]).
+    pub(crate) fn new(
+        rule: &'static str,
+        file: &str,
+        line: u32,
+        krate: &str,
+        message: String,
+    ) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            krate: krate.to_string(),
+            message,
+            severity: severity_of(rule),
+            id: String::new(),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the id hash. Stable by construction (no seed), short
+/// enough to read in a baseline diff.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assigns `rule:file:hash(snippet)` ids to one file's findings. Call
+/// with the findings sorted by line so ordinal suffixes for repeated
+/// identical snippets are deterministic.
+pub(crate) fn assign_ids(findings: &mut [Finding], source: &str) {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut seen: std::collections::BTreeMap<(&str, u64), u32> = std::collections::BTreeMap::new();
+    for f in findings.iter_mut() {
+        let snippet = lines
+            .get(f.line.saturating_sub(1) as usize)
+            .map(|l| l.trim())
+            .unwrap_or("");
+        let h = fnv64(snippet);
+        let n = seen.entry((f.rule, h)).or_insert(0);
+        *n += 1;
+        f.id = if *n == 1 {
+            format!("{}:{}:{:016x}", f.rule, f.file, h)
+        } else {
+            format!("{}:{}:{:016x}:{}", f.rule, f.file, h, *n)
+        };
+    }
 }
 
 /// A parsed `// lint: allow(rule) — reason` marker.
 #[derive(Debug, Clone)]
-struct Marker {
+pub(crate) struct Marker {
     rule: String,
     reason: String,
     /// Line of the marker comment itself.
     line: u32,
     /// Line the marker suppresses (first code line at/after the marker).
     target: u32,
+}
+
+/// Applies justified markers: a finding is suppressed when a marker for
+/// its rule targets its line. Markers with hollow reasons suppress
+/// nothing (they are themselves `allow-audit` findings).
+pub(crate) fn apply_markers(findings: &mut Vec<Finding>, markers: &[Marker]) {
+    findings.retain(|f| {
+        f.rule == "allow-audit"
+            || !markers.iter().any(|m| {
+                m.rule == f.rule && m.target == f.line && m.reason.len() >= MIN_REASON_LEN
+            })
+    });
 }
 
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
@@ -85,16 +248,11 @@ pub fn lint_file(source: &str, file: &str, krate: &str) -> Vec<Finding> {
     socket_timeouts(&toks, file, krate, &mut findings);
     allow_audit(&toks, &markers, file, krate, &mut findings);
 
-    // Apply justified markers: a finding is suppressed when a marker for
-    // its rule targets its line. Markers with hollow reasons suppress
-    // nothing (and were flagged by allow_audit above).
-    findings.retain(|f| {
-        f.rule == "allow-audit"
-            || !markers.iter().any(|m| {
-                m.rule == f.rule && m.target == f.line && m.reason.len() >= MIN_REASON_LEN
-            })
-    });
+    // Apply justified markers; hollow-reason markers suppress nothing
+    // (and were flagged by allow_audit above).
+    apply_markers(&mut findings, &markers);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    assign_ids(&mut findings, source);
     findings
 }
 
@@ -139,13 +297,7 @@ fn finding(
     line: u32,
     message: String,
 ) -> Finding {
-    Finding {
-        rule,
-        file: file.to_string(),
-        line,
-        krate: krate.to_string(),
-        message,
-    }
+    Finding::new(rule, file, line, krate, message)
 }
 
 /// `unwrap()`/`expect()` calls and panic-family macros in non-test code.
@@ -462,21 +614,16 @@ fn println_in_lib(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
     }
 }
 
-/// Crates where sockets must carry both deadlines: the serving stack's
-/// robustness contract (DESIGN.md §11) says every `TcpStream` has a read
-/// *and* a write timeout, or a stalled peer pins a thread forever.
-pub const SOCKET_TIMEOUT_CRATES: [&str; 1] = ["serve"];
-
 /// `TcpStream` acquisition (`TcpStream::connect`, `.accept()`,
-/// `.incoming()`) in a socket-deadline crate requires the same file to
+/// `.incoming()`) anywhere in the workspace requires the same file to
 /// call **both** `set_read_timeout` and `set_write_timeout` somewhere in
-/// non-test code. File granularity keeps the check honest without data
-/// flow: a file that acquires sockets but never mentions one of the two
-/// setters cannot possibly be applying it.
+/// non-test code — the serving stack's robustness contract (DESIGN.md
+/// §11) says a socket without both deadlines lets a stalled peer pin a
+/// thread forever, and that is just as true for the `fedload`/`fedchaos`
+/// client bins as for the daemon. File granularity keeps the check
+/// honest without data flow: a file that acquires sockets but never
+/// mentions one of the two setters cannot possibly be applying it.
 fn socket_timeouts(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) {
-    if !SOCKET_TIMEOUT_CRATES.contains(&krate) {
-        return;
-    }
     let mut has_read = false;
     let mut has_write = false;
     let mut sites: Vec<(u32, String)> = Vec::new();
@@ -534,7 +681,7 @@ fn socket_timeouts(lx: &Lexed, file: &str, krate: &str, out: &mut Vec<Finding>) 
 }
 
 /// Collects `// lint: allow(rule) — reason` markers.
-fn collect_markers(toks: &[Tok]) -> Vec<Marker> {
+pub(crate) fn collect_markers(toks: &[Tok]) -> Vec<Marker> {
     let mut markers = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Comment {
@@ -777,11 +924,11 @@ mod tests {
     }
 
     #[test]
-    fn socket_timeouts_requires_both_setters_in_serve() {
+    fn socket_timeouts_requires_both_setters_everywhere() {
         let src = "fn dial() { let s = TcpStream::connect(addr); s.set_read_timeout(Some(t)); }";
         assert_eq!(rules_of(src, "serve"), vec![("socket-timeouts", 1)]);
-        // Other crates are out of scope.
-        assert!(rules_of(src, "testbed").is_empty());
+        // The rule is workspace-wide: client bins hold sockets too.
+        assert_eq!(rules_of(src, "testbed"), vec![("socket-timeouts", 1)]);
         // Both setters present: clean, wherever in the file they sit.
         let both = "fn dial() { let s = TcpStream::connect(addr); }\nfn arm(s: &TcpStream) { s.set_read_timeout(Some(t)); s.set_write_timeout(Some(t)); }";
         assert!(rules_of(both, "serve").is_empty());
@@ -844,5 +991,36 @@ mod tests {
     fn allow_in_test_code_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    #[allow(dead_code)]\n    fn t() {}\n}";
         assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for r in RULE_NAMES {
+            assert!(explain(r).is_some(), "missing explanation for {r}");
+            assert!(matches!(severity_of(r), "error" | "warn"));
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn ids_survive_pure_line_drift() {
+        let a = "fn f() { x.unwrap(); }";
+        let b = "// an unrelated new comment line\nfn f() { x.unwrap(); }";
+        let fa = lint_file(a, "x.rs", "core");
+        let fb = lint_file(b, "x.rs", "core");
+        assert_eq!(fa.len(), 1);
+        assert_eq!(fa[0].id, fb[0].id);
+        assert_ne!(fa[0].line, fb[0].line);
+        assert!(fa[0].id.starts_with("no-panic-path:x.rs:"));
+        assert_eq!(fa[0].severity, "error");
+    }
+
+    #[test]
+    fn duplicate_snippets_get_ordinal_ids() {
+        let src = "fn f() {\n    x.unwrap();\n    x.unwrap();\n}";
+        let fs = lint_file(src, "x.rs", "core");
+        assert_eq!(fs.len(), 2);
+        assert_ne!(fs[0].id, fs[1].id);
+        assert!(fs[1].id.ends_with(":2"));
     }
 }

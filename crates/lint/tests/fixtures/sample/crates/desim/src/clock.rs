@@ -1,0 +1,10 @@
+//! Lint-test fixture: wall-clock reads inside a deterministic-path
+//! crate, which `wall-clock-in-deterministic-path` must flag. This file
+//! is never compiled.
+
+use std::time::Instant;
+
+pub fn elapsed_hint() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_secs()
+}

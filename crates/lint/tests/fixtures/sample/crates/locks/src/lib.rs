@@ -1,0 +1,39 @@
+//! Lint-test fixture for the fedval-analyze pass: a deliberate two-lock
+//! ordering cycle (`forward` takes queue→stats, `backward` takes
+//! stats→queue), a guard held across `TcpStream::write`, and both
+//! atomic-ordering smells. This file is never compiled.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+static OPS: AtomicU64 = AtomicU64::new(0);
+
+pub struct Pair {
+    queue: Mutex<Vec<u8>>,
+    stats: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+    }
+
+    pub fn backward(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+    }
+
+    pub fn flush_to(&self, stream: &mut TcpStream) {
+        let q = self.queue.lock();
+        stream.write(b"payload");
+    }
+}
+
+pub fn spin() -> bool {
+    OPS.fetch_add(1, Ordering::SeqCst);
+    STOP.load(Ordering::Relaxed)
+}

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod histogram;
+pub mod lockorder;
 mod record;
 mod registry;
 mod report;
@@ -58,6 +59,7 @@ mod sink;
 mod snapshot;
 
 pub use histogram::{bucket_index, bucket_labels, Histogram, BUCKET_BOUNDS_NS, BUCKET_COUNT};
+pub use lockorder::{OrderedMutex, OrderedRwLock};
 pub use record::{escape_json, json_f64, Record};
 pub use registry::{
     capture, counter_add, event, flush, gauge_set, install, is_enabled, now_ns, observe_ns, replay,

@@ -15,18 +15,20 @@
 //! never double-panics, so a poisoned computation cannot poison the
 //! registry.
 
+use crate::lockorder::OrderedRwLock;
 use crate::record::Record;
 use crate::sink::Sink;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Fast-path switch: true iff a sink is installed.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// The installed sink, if any.
-static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+/// The installed sink, if any. An [`OrderedRwLock`] so tests witness any
+/// acquisition-order violation involving the registry (DESIGN.md §12).
+static SINK: OrderedRwLock<Option<Arc<dyn Sink>>> = OrderedRwLock::new("obs.sink", None);
 
 /// Next span id; ids are process-unique and monotonically increasing.
 static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
@@ -61,6 +63,7 @@ pub fn now_ns() -> u64 {
 /// already check internally.
 #[inline]
 pub fn is_enabled() -> bool {
+    // lint: allow(atomic-ordering-audit) — single-flag fast path; sites needing the sink re-synchronize through the SINK lock
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -104,23 +107,17 @@ pub fn flush() {
     }
 }
 
-fn write_sink() -> std::sync::RwLockWriteGuard<'static, Option<Arc<dyn Sink>>> {
-    match SINK.write() {
-        Ok(g) => g,
-        // The slot only ever holds an Arc swap — a poisoned lock still
-        // holds coherent data, so recover rather than propagate.
-        Err(poisoned) => poisoned.into_inner(),
-    }
+fn write_sink() -> crate::lockorder::OrderedWriteGuard<'static, Option<Arc<dyn Sink>>> {
+    // Poison recovery happens inside OrderedRwLock: the slot only ever
+    // holds an Arc swap, so a poisoned lock still holds coherent data.
+    SINK.write()
 }
 
 fn current_sink() -> Option<Arc<dyn Sink>> {
     if !is_enabled() {
         return None;
     }
-    let guard = match SINK.read() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let guard = SINK.read();
     guard.clone()
 }
 

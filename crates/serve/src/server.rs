@@ -508,7 +508,7 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<FrameR
 fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
     let mut stream = lock_recover(writer);
     stream
-        .write_all(line.as_bytes())
+        .write_all(line.as_bytes()) // lint: allow(guard-across-blocking) — the per-connection writer lock exists to keep response lines whole; the socket write deadline bounds the hold
         .and_then(|()| stream.write_all(b"\n"))
         .is_ok()
 }

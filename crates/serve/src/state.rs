@@ -23,6 +23,7 @@ use crate::protocol::{render_f64_array, QueryError, QueryKind};
 use fedval_coalition::{nucleolus, CachedGame, Coalition, CoalitionalGame, TableGame};
 use fedval_core::sharing::shapley_hat_of;
 use fedval_core::{Demand, ExperimentClass, Facility, FederationGame, Volume};
+use fedval_obs::OrderedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -178,7 +179,10 @@ pub struct ServeState {
     cached: CachedGame<ScenarioGame>,
     shapley: OnceLock<Result<String, QueryError>>,
     nucleolus: OnceLock<Result<String, QueryError>>,
-    whatif: Mutex<Lru<WhatIfKey, Result<String, QueryError>>>,
+    /// Derived-scenario LRU behind an [`OrderedMutex`] so debug builds
+    /// validate its acquisition order against every other named lock
+    /// (DESIGN.md §12). Poison recovery lives inside the wrapper.
+    whatif: OrderedMutex<Lru<WhatIfKey, Result<String, QueryError>>>,
     whatif_hits: AtomicU64,
     whatif_misses: AtomicU64,
 }
@@ -200,7 +204,7 @@ impl ServeState {
             cached,
             shapley: OnceLock::new(),
             nucleolus: OnceLock::new(),
-            whatif: Mutex::new(Lru::new(whatif_capacity)),
+            whatif: OrderedMutex::new("serve.whatif", Lru::new(whatif_capacity)),
             whatif_hits: AtomicU64::new(0),
             whatif_misses: AtomicU64::new(0),
         }
@@ -346,7 +350,7 @@ impl ServeState {
     }
 
     fn what_if(&self, key: WhatIfKey) -> Result<String, QueryError> {
-        let mut lru = lock_recover(&self.whatif);
+        let mut lru = self.whatif.lock();
         if let Some(cached) = lru.get(&key) {
             self.whatif_hits.fetch_add(1, Ordering::Relaxed);
             fedval_obs::counter_add("serve.whatif.hits", 1);
@@ -531,7 +535,7 @@ mod tests {
             });
         }
         assert_eq!(s.whatif_misses(), 6);
-        let lru = lock_recover(&s.whatif);
+        let lru = s.whatif.lock();
         assert_eq!(lru.len(), 2, "LRU must stay at its bound");
     }
 
