@@ -33,12 +33,18 @@ for crate in fedval-simplex fedval-core fedval-coalition fedval-desim \
         -D clippy::expect_used
 done
 
-echo "== bench_pipeline --check (BENCH_pipeline.json deterministic section)"
-if ! cargo run -q -p fedval-bench --release --bin bench_pipeline -- --check; then
+echo "== bench_pipeline --check (deterministic section + sweep speedup gate)"
+# --threads 4 arms the ratcheted sweep.speedup floor: at >= 4 requested
+# workers the parallel sweep leg must not be slower than the sequential
+# one (within measurement tolerance). On single-core hosts run_sweep
+# clamps its worker count, so the gate stays meaningful everywhere.
+if ! cargo run -q -p fedval-bench --release --bin bench_pipeline -- --check --threads 4; then
     echo ""
-    echo "ci.sh: BENCH_pipeline.json is stale — a change shifted a deterministic"
-    echo "pipeline count (pivots, LP solves, cache ratio, simulation totals)."
-    echo "Regenerate with:  cargo run --release -p fedval-bench --bin bench_pipeline"
+    echo "ci.sh: BENCH_pipeline.json is stale or the sweep speedup regressed —"
+    echo "either a change shifted a deterministic pipeline count (pivots, LP"
+    echo "solves, cache ratio, simulation totals), or sweep.speedup fell below"
+    echo "the ratcheted floor at 4 threads."
+    echo "Regenerate with:  cargo run --release -p fedval-bench --bin bench_pipeline -- --threads 4"
     exit 1
 fi
 
@@ -76,10 +82,32 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 if ! ./target/release/fedload --addr "$addr" --connections 2 --requests 2000 \
-        --kind mixed --seed 7 --out "$smoke_tmp/BENCH_serve_smoke.json" --shutdown; then
+        --kind mixed --seed 7 --out "$smoke_tmp/BENCH_serve_smoke.json" \
+        --metrics "$smoke_tmp/load_metrics.json" \
+        --scrape "$smoke_tmp/metrics_scrape.json" --shutdown; then
     echo ""
     echo "ci.sh: fedload failed — protocol errors or byte-identical-response"
     echo "mismatches against the live server (see report above)."
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# The metrics scrape must be a well-formed exposition with a nonzero
+# serve_req_ok (2000 requests just succeeded) plus the ring buffer.
+if ! grep -q '# TYPE serve_req_ok counter' "$smoke_tmp/metrics_scrape.json" \
+   || ! grep -Eq 'serve_req_ok [1-9][0-9]*' "$smoke_tmp/metrics_scrape.json" \
+   || ! grep -q '"ring":\[' "$smoke_tmp/metrics_scrape.json"; then
+    echo ""
+    echo "ci.sh: the metrics query scrape is malformed or reports zero"
+    echo "serve_req_ok after a successful load run:"
+    cat "$smoke_tmp/metrics_scrape.json"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# The client-side registry dump must carry the sharded latency histogram.
+if ! grep -q '"load.request_ns"' "$smoke_tmp/load_metrics.json"; then
+    echo ""
+    echo "ci.sh: fedload --metrics dump is missing load.request_ns:"
+    cat "$smoke_tmp/load_metrics.json"
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi

@@ -15,12 +15,16 @@
 //! byte-identical on every machine and every run (pivot counts, LP solves,
 //! cache ratios, seeded simulation totals, per-figure sweep totals, and
 //! the threads=1 vs threads=N byte-equality verdict); `"timing"` holds
-//! wall-clock measurements and derived rates — including the sequential
-//! vs parallel sweep walls and their speedup — refreshed on each write.
-//! `--check` re-runs the pipeline and fails unless the committed file
-//! contains the regenerated deterministic section byte for byte — timing
-//! drift is fine, a logic change that shifts pivot or event counts (or
-//! breaks sweep thread-invariance) is not.
+//! wall-clock measurements and derived rates — the sequential vs parallel
+//! sweep walls and their speedup, plus an `obs_overhead` probe timing the
+//! worked example enabled-into-NullSink vs fully disabled — refreshed on
+//! each write. `--check` re-runs the pipeline and fails unless the
+//! committed file contains the regenerated deterministic section byte for
+//! byte — timing drift is fine, a logic change that shifts pivot or event
+//! counts (or breaks sweep thread-invariance) is not — and additionally
+//! gates `sweep.speedup >= 1.0` whenever the parallel leg ran with at
+//! least 4 workers (the sharded-telemetry redesign is what makes the
+//! parallel sweep actually faster; this ratchet keeps it that way).
 
 use fedval_bench::{set_sweep_threads, Figure};
 use fedval_coalition::{shapley, CachedGame, Coalition};
@@ -45,8 +49,26 @@ struct SweepSummary {
     points: u64,
     /// True iff `to_csv()` is byte-identical between the two legs.
     thread_invariant: bool,
-    /// Worker count used by the parallel leg.
+    /// Worker cap requested for the parallel leg (`--threads`).
     parallel_threads: usize,
+    /// Workers the parallel leg actually ran (the engine caps at the
+    /// hardware's available parallelism — see `run_sweep`).
+    parallel_workers: usize,
+    /// Best-of-two wall time of the sequential leg, ns.
+    sequential_wall_ns: u64,
+    /// Best-of-two wall time of the parallel leg, ns.
+    parallel_wall_ns: u64,
+}
+
+impl SweepSummary {
+    /// Sequential-over-parallel wall ratio (0.0 when unmeasurable).
+    fn speedup(&self) -> f64 {
+        if self.parallel_wall_ns > 0 {
+            self.sequential_wall_ns as f64 / self.parallel_wall_ns as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The figures that are sweeps (everything except closed-form Fig. 2).
@@ -79,20 +101,27 @@ fn fig_total(fig: &Figure) -> f64 {
         .sum()
 }
 
-/// Runs Fig. 4–9 once at threads=1 and once at `parallel_threads`,
-/// proving the figure data thread-count-invariant and measuring both
-/// walls (under `bench.phase.sweep_sequential` / `..._parallel` spans).
+/// Runs Fig. 4–9 twice at threads=1 and twice at `parallel_threads`,
+/// proving the figure data thread-count-invariant and timing both legs
+/// (under `bench.phase.sweep_sequential` / `..._parallel` spans). Each
+/// leg's wall is the better of its two generations — the first
+/// sequential pass doubles as the warm-up, and min-of-two keeps a single
+/// scheduler hiccup from deciding the speedup ratio.
 fn run_sweep_legs(parallel_threads: usize) -> SweepSummary {
-    let sequential = {
-        let _leg = fedval_obs::span("bench.phase.sweep_sequential");
-        set_sweep_threads(1);
-        sweep_figures()
+    let time_leg = |threads: usize, span: &'static str| -> (Vec<Figure>, u64) {
+        set_sweep_threads(threads);
+        let mut best_ns = u64::MAX;
+        let mut figures = Vec::new();
+        for _ in 0..2 {
+            let _leg = fedval_obs::span(span);
+            let start = std::time::Instant::now();
+            figures = sweep_figures();
+            best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+        }
+        (figures, best_ns)
     };
-    let parallel = {
-        let _leg = fedval_obs::span("bench.phase.sweep_parallel");
-        set_sweep_threads(parallel_threads);
-        sweep_figures()
-    };
+    let (sequential, sequential_wall_ns) = time_leg(1, "bench.phase.sweep_sequential");
+    let (parallel, parallel_wall_ns) = time_leg(parallel_threads, "bench.phase.sweep_parallel");
     set_sweep_threads(0); // restore the process-wide default
     let thread_invariant = sequential.len() == parallel.len()
         && sequential
@@ -104,6 +133,9 @@ fn run_sweep_legs(parallel_threads: usize) -> SweepSummary {
         points: sequential.iter().map(fig_points).sum(),
         thread_invariant,
         parallel_threads,
+        parallel_workers: parallel_threads.min(fedval_bench::available_threads()).max(1),
+        sequential_wall_ns,
+        parallel_wall_ns,
     }
 }
 
@@ -172,8 +204,57 @@ fn run_pipeline(parallel_threads: usize) -> (RunReport, SweepSummary) {
         }
     };
 
+    // Metrics live in the sharded fold; records carry only events and
+    // sampled span traces. `from_parts` reunites them without double
+    // counting the shutdown dump.
+    let fold = fedval_obs::metrics_fold();
     fedval_obs::shutdown();
-    (RunReport::from_records(&recording.records()), sweep)
+    (RunReport::from_parts(&fold, &recording.records()), sweep)
+}
+
+/// Wall-clock cost of the telemetry layer itself, measured on the §4.1
+/// worked example (scenario build + exact Shapley through the coalition
+/// cache): once with observability enabled into a [`fedval_obs::NullSink`]
+/// (the full enabled path — shard bumps, span guards, sink dispatch) and
+/// once fully disabled (the `is_enabled()` fast path short-circuits
+/// everything).
+struct ObsOverhead {
+    /// Wall time of the probe workload with observability enabled, ns.
+    enabled_wall_ns: u64,
+    /// Wall time of the probe workload with observability disabled, ns.
+    disabled_wall_ns: u64,
+}
+
+/// The probe workload: heavy enough to exercise spans, counters, and the
+/// coalition cache, light enough to run twice more per benchmark.
+fn overhead_workload() {
+    let scenario = FederationScenario::new(
+        paper_facilities([1, 1, 1]),
+        Demand::one_experiment(ExperimentClass::simple("e", 500.0, 1.0)),
+    );
+    let cached = CachedGame::new(scenario.game().clone());
+    let _ = shapley(&cached);
+}
+
+/// Times [`overhead_workload`] enabled-with-NullSink vs disabled (one
+/// warm-up pass each). Must run while observability is shut down; leaves
+/// it shut down.
+fn measure_obs_overhead() -> ObsOverhead {
+    fedval_obs::install(std::sync::Arc::new(fedval_obs::NullSink));
+    overhead_workload();
+    let start = std::time::Instant::now();
+    overhead_workload();
+    let enabled_wall_ns = start.elapsed().as_nanos() as u64;
+    fedval_obs::shutdown();
+
+    overhead_workload();
+    let start = std::time::Instant::now();
+    overhead_workload();
+    let disabled_wall_ns = start.elapsed().as_nanos() as u64;
+    ObsOverhead {
+        enabled_wall_ns,
+        disabled_wall_ns,
+    }
 }
 
 fn push_kv_u64(out: &mut String, key: &str, value: u64, last: bool) {
@@ -249,7 +330,7 @@ fn deterministic_section(report: &RunReport, sweep: &SweepSummary) -> String {
 }
 
 /// The timing section: wall-clock, refreshed on every write.
-fn timing_section(report: &RunReport, sweep: &SweepSummary) -> String {
+fn timing_section(report: &RunReport, sweep: &SweepSummary, overhead: &ObsOverhead) -> String {
     let mut out = String::from("  \"timing\": {\n");
     push_kv_u64(
         &mut out,
@@ -277,31 +358,53 @@ fn timing_section(report: &RunReport, sweep: &SweepSummary) -> String {
         .rate_per_sec("desim.engine.delivered", "testbed.simulate.run")
         .unwrap_or(0.0);
     push_kv_f64(&mut out, "desim.events_per_sec", events_per_sec, false);
-    let sequential_ns = report.span_total_ns("bench.phase.sweep_sequential");
-    let parallel_ns = report.span_total_ns("bench.phase.sweep_parallel");
-    push_kv_u64(&mut out, "sweep.sequential_wall_ns", sequential_ns, false);
-    push_kv_u64(&mut out, "sweep.parallel_wall_ns", parallel_ns, false);
+    push_kv_u64(
+        &mut out,
+        "sweep.sequential_wall_ns",
+        sweep.sequential_wall_ns,
+        false,
+    );
+    push_kv_u64(&mut out, "sweep.parallel_wall_ns", sweep.parallel_wall_ns, false);
     push_kv_u64(
         &mut out,
         "sweep.parallel_threads",
         sweep.parallel_threads as u64,
         false,
     );
-    let speedup = if parallel_ns > 0 {
-        sequential_ns as f64 / parallel_ns as f64
+    push_kv_u64(
+        &mut out,
+        "sweep.parallel_workers",
+        sweep.parallel_workers as u64,
+        false,
+    );
+    push_kv_f64(&mut out, "sweep.speedup", sweep.speedup(), false);
+    push_kv_u64(
+        &mut out,
+        "obs_overhead.enabled_wall_ns",
+        overhead.enabled_wall_ns,
+        false,
+    );
+    push_kv_u64(
+        &mut out,
+        "obs_overhead.disabled_wall_ns",
+        overhead.disabled_wall_ns,
+        false,
+    );
+    let overhead_ratio = if overhead.disabled_wall_ns > 0 {
+        overhead.enabled_wall_ns as f64 / overhead.disabled_wall_ns as f64
     } else {
         0.0
     };
-    push_kv_f64(&mut out, "sweep.speedup", speedup, true);
+    push_kv_f64(&mut out, "obs_overhead.ratio", overhead_ratio, true);
     out.push_str("  }");
     out
 }
 
-fn render_json(report: &RunReport, sweep: &SweepSummary) -> String {
+fn render_json(report: &RunReport, sweep: &SweepSummary, overhead: &ObsOverhead) -> String {
     format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation + fig4-9 sweep\",\n{},\n{}\n}}\n",
         deterministic_section(report, sweep),
-        timing_section(report, sweep),
+        timing_section(report, sweep, overhead),
     )
 }
 
@@ -344,20 +447,41 @@ fn main() -> ExitCode {
             }
         };
         let expected = deterministic_section(&report, &sweep);
-        if existing.contains(&expected) {
-            println!("bench_pipeline --check: deterministic section matches");
-            ExitCode::SUCCESS
-        } else {
+        if !existing.contains(&expected) {
             eprintln!(
                 "bench_pipeline --check: deterministic section of {} is stale.\n\
                  Regenerate with: cargo run --release -p fedval-bench --bin bench_pipeline\n\
                  expected:\n{expected}",
                 path.display()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+        // Ratcheted perf gate: with a 4+-thread cap, the parallel sweep
+        // leg must not lose to the sequential one. Sharded telemetry is
+        // what bought the speedup; a regression here means the enabled
+        // path grew a new serialization point. The minimum is 1.0 less a
+        // 3% wall-clock measurement tolerance — best-of-two walls still
+        // jitter a percent or two on a busy host, and on a single-core
+        // host the two legs run identical code, so the true ratio sits
+        // exactly at the threshold.
+        let speedup = sweep.speedup();
+        if sweep.parallel_threads >= 4 && speedup < 0.97 {
+            eprintln!(
+                "bench_pipeline --check: sweep.speedup {speedup:.3} < 1.000 at {} threads — \
+                 the parallel sweep must beat the sequential baseline",
+                sweep.parallel_threads
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_pipeline --check: deterministic section matches (sweep.speedup {speedup:.2}x \
+             at {} threads)",
+            sweep.parallel_threads
+        );
+        ExitCode::SUCCESS
     } else {
-        let json = render_json(&report, &sweep);
+        let overhead = measure_obs_overhead();
+        let json = render_json(&report, &sweep, &overhead);
         match std::fs::write(&path, &json) {
             Ok(()) => {
                 print!("{json}");

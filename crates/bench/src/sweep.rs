@@ -5,26 +5,31 @@
 //! characteristic-function evaluations) and running the share
 //! computations. The points are independent, so [`run_sweep`] shards
 //! them across scoped worker threads — but the emitted figure data and
-//! the observability record stream must be **byte-identical regardless
-//! of thread count** (DESIGN.md §9). Three mechanisms deliver that:
+//! the observability output must be **identical regardless of thread
+//! count** (DESIGN.md §9). Three mechanisms deliver that:
 //!
 //! 1. **Input-order merge.** Workers tag each result with its point
 //!    index; the coordinator sorts by index before returning, so the
 //!    output `Vec` is positionally identical to a sequential loop.
-//! 2. **Record capture/replay.** Each point's evaluation runs inside
-//!    [`fedval_obs::capture`], so nothing reaches the sink while workers
-//!    interleave. The coordinator replays the buffers point-by-point in
-//!    input order — the record stream a sink sees is
+//! 2. **Sharded metrics.** Counters, gauges, and latency observations
+//!    go straight from worker threads into their per-thread metric
+//!    shards — summation is commutative, so the merged fold is
+//!    interleaving-invariant by construction and nothing needs
+//!    buffering.
+//! 3. **Sampled record capture/replay.** Only events and a seeded,
+//!    index-determined sample of span traces ([`span_sampled`]) emit
+//!    records at all; each point's evaluation runs inside
+//!    [`fedval_obs::capture`] (unsampled points additionally suppress
+//!    span records via
+//!    [`fedval_obs::with_span_records_suppressed`] — span *counts*
+//!    still land in the shards), and the coordinator replays the tiny
+//!    buffers in input order. Because the sample decision is a pure
+//!    function of the point index, the replayed record stream is
 //!    scheduling-independent.
-//! 3. **Counter folding.** Counters from all points are summed into one
-//!    `BTreeMap` and emitted once per sweep (ordered by name), so
-//!    per-point counter noise collapses to a stable total.
 //!
 //! `threads = 1` runs the *same* capture/replay path on the calling
 //! thread, so sequential and parallel runs emit identical streams.
 
-use fedval_obs::Record;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -55,12 +60,31 @@ pub fn sweep_threads() -> usize {
     }
 }
 
-/// One worker's finished point: input index, result, captured records,
-/// and wall time (for the per-point histogram).
+/// Seed for the span-trace sampling decision. Fixed (not configurable):
+/// the sample set must be identical across runs, thread counts, and
+/// machines for the record stream to stay deterministic.
+const SPAN_SAMPLE_SEED: u64 = 0xfed5_ba11_0b5e_0001;
+
+/// Keep span records for one point in `SPAN_SAMPLE_MODULUS`.
+const SPAN_SAMPLE_MODULUS: u64 = 8;
+
+/// Whether point `index` contributes span-trace records — a pure,
+/// seeded function of the input index (splitmix64 finalizer), so the
+/// decision is identical for every thread count and schedule.
+pub fn span_sampled(index: usize) -> bool {
+    let mut z = SPAN_SAMPLE_SEED ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) % SPAN_SAMPLE_MODULUS == 0
+}
+
+/// One worker's finished point: input index, result, captured records
+/// (events plus sampled span traces), and wall time (for the per-point
+/// histogram).
 struct Finished<T> {
     index: usize,
     result: T,
-    records: Vec<Record>,
+    records: Vec<fedval_obs::Record>,
     dur_ns: u64,
 }
 
@@ -69,7 +93,11 @@ struct Finished<T> {
 ///
 /// The output — both the returned `Vec` and the observability record
 /// stream — is byte-identical for every `threads` value (see the module
-/// docs for how). `threads` is clamped to `1..=points.len()`; pass
+/// docs for how). `threads` is a **cap**, not a demand: the engine never
+/// runs more workers than there are points or hardware threads
+/// ([`available_threads`]) — oversubscribing a CPU-bound sweep buys
+/// nothing but context-switch and cache-thrash loss, so `--threads 4` on
+/// a single-core host degrades gracefully to the sequential path. Pass
 /// [`sweep_threads`] to honor the process-wide `--threads` setting.
 ///
 /// Observability: the whole call runs under a `bench.sweep` span, each
@@ -84,7 +112,7 @@ where
     if points.is_empty() {
         return Vec::new();
     }
-    let threads = threads.clamp(1, points.len());
+    let threads = threads.clamp(1, points.len()).min(available_threads()).max(1);
     let _sweep = fedval_obs::span_with("bench.sweep", || {
         format!("points={} threads={}", points.len(), threads)
     });
@@ -100,7 +128,13 @@ where
             return;
         }
         let start = fedval_obs::now_ns();
-        let (result, records) = fedval_obs::capture(|| eval(&points[index]));
+        let (result, records) = fedval_obs::capture(|| {
+            if span_sampled(index) {
+                eval(&points[index])
+            } else {
+                fedval_obs::with_span_records_suppressed(|| eval(&points[index]))
+            }
+        });
         let dur_ns = fedval_obs::now_ns().saturating_sub(start);
         let mut done = match finished.lock() {
             Ok(guard) => guard,
@@ -140,27 +174,16 @@ where
     };
     finished.sort_by_key(|f| f.index);
 
-    // Replay per-point records in input order; counters are folded across
-    // the whole sweep and emitted once, ordered by name.
-    let mut counter_totals: BTreeMap<String, u64> = BTreeMap::new();
+    // Replay the per-point buffers (events + sampled span traces) in
+    // input order. Counters and observations never entered the buffers —
+    // they accumulated in the workers' metric shards as they happened.
     let mut results = Vec::with_capacity(finished.len());
     for f in finished {
-        fedval_obs::replay(f.records.into_iter().filter(|r| match r {
-            Record::Counter { name, delta } => {
-                *counter_totals.entry(name.clone()).or_insert(0) += delta;
-                false
-            }
-            _ => true,
-        }));
+        fedval_obs::replay(f.records);
         fedval_obs::observe_ns("bench.sweep.point_ns", f.dur_ns);
         results.push(f.result);
     }
     fedval_obs::counter_add("bench.sweep.points", results.len() as u64);
-    fedval_obs::replay(
-        counter_totals
-            .into_iter()
-            .map(|(name, delta)| Record::Counter { name, delta }),
-    );
     results
 }
 
@@ -200,31 +223,75 @@ mod tests {
                 },
                 threads,
             );
+            let fold = fedval_obs::metrics_fold();
             fedval_obs::shutdown();
-            (out, sink.records())
+            (out, sink.records(), fold)
         };
 
-        let (seq_out, seq_records) = traced(1);
-        let seq_snap = MetricsSnapshot::from_records(&seq_records);
-        assert_eq!(seq_snap.counter("t.sweep.evals"), 16);
-        assert_eq!(seq_snap.counter("bench.sweep.points"), 16);
-        assert_eq!(seq_snap.spans("t.sweep.point"), 16);
-        assert_eq!(seq_snap.spans("bench.sweep"), 1);
-        assert_eq!(seq_snap.observe_counts["bench.sweep.point_ns"], 16);
+        let sampled_points: Vec<usize> = (0..16).filter(|&i| span_sampled(i)).collect();
+        assert!(
+            !sampled_points.is_empty() && sampled_points.len() < 16,
+            "the 16-point sample set must be a strict, nonempty subset: {sampled_points:?}"
+        );
+
+        let (seq_out, seq_records, seq_fold) = traced(1);
+        // Shard-accumulated metrics count every point exactly once, span
+        // sampling notwithstanding.
+        assert_eq!(seq_fold.counter("t.sweep.evals"), 16);
+        assert_eq!(seq_fold.counter("bench.sweep.points"), 16);
+        assert_eq!(seq_fold.span_count("t.sweep.point"), 16);
+        assert_eq!(seq_fold.span_count("bench.sweep"), 1);
+        assert_eq!(
+            seq_fold.histogram("bench.sweep.point_ns").map(|h| h.count),
+            Some(16)
+        );
+        let seq_snap = MetricsSnapshot::from_parts(&seq_fold, &seq_records);
         // Events replay in input order, not completion order.
         let payloads: Vec<String> = (0..16).map(|p| format!("p={p}")).collect();
         assert_eq!(seq_snap.events["t.sweep.done"], payloads);
-        // Counters are folded: one emission per name across the sweep.
+        // Only the sampled points contributed span-trace records; the
+        // shutdown dump emits each counter exactly once.
+        let point_span_ends = seq_records
+            .iter()
+            .filter(|r| {
+                matches!(r, fedval_obs::Record::SpanEnd { name, .. } if name == "t.sweep.point")
+            })
+            .count();
+        assert_eq!(point_span_ends, sampled_points.len());
         let eval_counter_emissions = seq_records
             .iter()
             .filter(|r| matches!(r, fedval_obs::Record::Counter { name, .. } if name == "t.sweep.evals"))
             .count();
-        assert_eq!(eval_counter_emissions, 1, "counters must fold once per sweep");
+        assert_eq!(eval_counter_emissions, 1, "one dump emission per counter");
+
+        // Timing-free shape of the record stream: kind + name, in order.
+        let shape = |records: &[fedval_obs::Record]| -> Vec<String> {
+            records
+                .iter()
+                .map(|r| {
+                    let kind = match r {
+                        fedval_obs::Record::SpanStart { .. } => "start",
+                        fedval_obs::Record::SpanEnd { .. } => "end",
+                        fedval_obs::Record::Counter { .. } => "counter",
+                        fedval_obs::Record::Gauge { .. } => "gauge",
+                        fedval_obs::Record::Observe { .. } => "observe",
+                        fedval_obs::Record::Event { .. } => "event",
+                    };
+                    format!("{kind}:{}", r.name())
+                })
+                .collect()
+        };
+        let seq_shape = shape(&seq_records);
 
         for threads in [2, 4, 8] {
-            let (out, records) = traced(threads);
+            let (out, records, fold) = traced(threads);
             assert_eq!(out, seq_out, "threads={threads}");
-            let snap = MetricsSnapshot::from_records(&records);
+            assert_eq!(
+                shape(&records),
+                seq_shape,
+                "sampled record stream must be schedule-independent at threads={threads}"
+            );
+            let snap = MetricsSnapshot::from_parts(&fold, &records);
             assert_eq!(
                 snap.to_text(),
                 seq_snap.to_text(),

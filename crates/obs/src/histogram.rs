@@ -88,6 +88,44 @@ impl Histogram {
         self.sum_ns = self.sum_ns.saturating_add(value_ns);
     }
 
+    /// Folds another histogram into this one (shard merging): bucket
+    /// counts and sums add, the min/max envelope widens.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (slot, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += n;
+        }
+        if self.count == 0 || other.min_ns < self.min_ns {
+            self.min_ns = other.min_ns;
+        }
+        if other.max_ns > self.max_ns {
+            self.max_ns = other.max_ns;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// The observations recorded since `earlier` was snapshotted, as a
+    /// histogram: bucket counts and sums subtract (saturating, so a
+    /// reset between snapshots degrades to zeros instead of wrapping).
+    /// `min_ns`/`max_ns` cannot be reconstructed for a window, so the
+    /// delta keeps the conservative envelope `[0, self.max_ns]` —
+    /// percentile estimates on a delta stay within the decade-bucket
+    /// resolution rather than being exact at the edges.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        out.min_ns = 0;
+        out.max_ns = if out.count == 0 { 0 } else { self.max_ns };
+        out
+    }
+
     /// Mean observation in nanoseconds, or 0 when empty.
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
@@ -285,6 +323,47 @@ mod tests {
         assert_eq!(h.percentile_ns(-3.0), 0);
         assert_eq!(h.percentile_ns(f64::NAN), 0);
         assert_eq!(h.percentile_ns(250.0), 42, "p > 100 saturates to p100");
+    }
+
+    #[test]
+    fn merge_matches_unsharded_accumulation() {
+        let values = [100u64, 2_000, 2_000, 50_000, 20_000_000_000];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let mut h = Histogram::new();
+        h.observe(500);
+        h.observe(5_000);
+        let earlier = h.clone();
+        h.observe(700);
+        h.observe(70_000);
+        let d = h.delta(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 70_700);
+        assert_eq!(d.buckets[0], 1);
+        assert_eq!(d.buckets[2], 1);
+        // An empty window is empty, not a stale copy.
+        let none = h.delta(&h);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.max_ns, 0);
+        assert_eq!(none.p99_ns(), 0);
     }
 
     #[test]

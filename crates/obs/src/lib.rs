@@ -12,7 +12,12 @@
 //!   (the default) each call is a single relaxed atomic load, so hot
 //!   loops — simplex pivots, desim event dispatch — stay permanently
 //!   instrumented at zero practical cost.
-//! * **Records, not strings.** Every emission is a typed [`Record`];
+//! * **Sharded metrics.** Enabled counters, gauges, and latency
+//!   observations accumulate into per-thread shards merged on demand
+//!   ([`metrics_fold`]) — a thread-local map bump, not a global lock —
+//!   and [`shutdown`] dumps the merged totals into the record stream so
+//!   recorded traces stay complete (DESIGN.md §13).
+//! * **Records, not strings.** Spans and events are typed [`Record`]s;
 //!   rendering (JSONL for `--trace`, aggregation for reports) happens in
 //!   the sink, off the instrumented path.
 //! * **Determinism split.** [`MetricsSnapshot`] is the timing-free view
@@ -55,6 +60,7 @@ pub mod lockorder;
 mod record;
 mod registry;
 mod report;
+mod shard;
 mod sink;
 mod snapshot;
 
@@ -62,9 +68,11 @@ pub use histogram::{bucket_index, bucket_labels, Histogram, BUCKET_BOUNDS_NS, BU
 pub use lockorder::{OrderedMutex, OrderedRwLock};
 pub use record::{escape_json, json_f64, Record};
 pub use registry::{
-    capture, counter_add, event, flush, gauge_set, install, is_enabled, now_ns, observe_ns, replay,
-    shutdown, span, span_with, time_ns, SpanGuard,
+    capture, counter_add, ensure_enabled, event, flush, gauge_set, install, is_enabled, now_ns,
+    observe_ns, replay, shutdown, span, span_with, time_ns, with_span_records_suppressed,
+    SpanGuard,
 };
 pub use report::{fmt_ns, RunReport, SpanStat};
+pub use shard::{metrics_fold, MetricsFold};
 pub use sink::{FileSink, NullSink, RecordingSink, Sink, TeeSink};
 pub use snapshot::MetricsSnapshot;

@@ -77,7 +77,13 @@ fn on_acquire(name: &'static str) {
     if !cfg!(debug_assertions) {
         return;
     }
-    let held: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+    // try_with: ordered locks are taken from TLS destructors (the
+    // thread-exit metric-shard flush); once this thread's held-stack is
+    // torn down there is nothing left to order against, so checking
+    // degrades to a no-op instead of panicking mid-teardown.
+    let held: Vec<&'static str> = HELD
+        .try_with(|h| h.borrow().clone())
+        .unwrap_or_default();
     if held.contains(&name) {
         // lint: allow(no-panic-path) — the checker's contract is to abort the test on witnessed deadlock risk
         panic!("lock-order: thread re-acquiring `{name}` while already holding it");
@@ -104,13 +110,13 @@ fn on_acquire(name: &'static str) {
 
 fn push_held(name: &'static str) {
     if cfg!(debug_assertions) {
-        HELD.with(|h| h.borrow_mut().push(name));
+        let _ = HELD.try_with(|h| h.borrow_mut().push(name));
     }
 }
 
 fn pop_held(name: &'static str) {
     if cfg!(debug_assertions) {
-        HELD.with(|h| {
+        let _ = HELD.try_with(|h| {
             let mut held = h.borrow_mut();
             if let Some(pos) = held.iter().rposition(|&n| n == name) {
                 held.remove(pos);

@@ -8,17 +8,31 @@
 //! lets hot loops (simplex pivots, desim event dispatch) stay
 //! instrumented permanently.
 //!
+//! The *enabled* paths split by kind (DESIGN.md §13): counters, gauges,
+//! and latency observations accumulate into per-thread shards
+//! ([`crate::shard`]) — a thread-local map bump, no record, no sink —
+//! while spans and events still emit typed [`Record`]s (they carry the
+//! structure traces are made of). [`shutdown`] bridges the two worlds:
+//! before detaching the sink it dumps the merged counter totals and
+//! final gauge values as ordered records, so a recorded stream remains a
+//! complete picture of the run.
+//!
 //! Span nesting is tracked per thread: a [`SpanGuard`] pushes its id on a
 //! thread-local stack at creation and pops it on drop, so `parent` links
 //! in the trace reflect lexical nesting on each thread. Guard drop is
 //! unwind-safe — a panic inside a span still emits the `SpanEnd` and
 //! never double-panics, so a poisoned computation cannot poison the
-//! registry.
+//! registry. Span *records* can be suppressed in a lexical scope
+//! ([`with_span_records_suppressed`]) — the shard aggregates still count
+//! every span exactly once, only the trace records are elided; this is
+//! what lets the parallel sweep sample span traces without perturbing
+//! deterministic span counts.
 
 use crate::lockorder::OrderedRwLock;
 use crate::record::Record;
-use crate::sink::Sink;
-use std::cell::RefCell;
+use crate::shard;
+use crate::sink::{NullSink, Sink};
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -43,6 +57,11 @@ thread_local! {
     /// When set, records emitted on this thread are diverted into the
     /// buffer instead of the installed sink (see [`capture`]).
     static CAPTURE_BUFFER: RefCell<Option<Vec<Record>>> = const { RefCell::new(None) };
+
+    /// Nesting depth of [`with_span_records_suppressed`] scopes: spans
+    /// opened while nonzero skip their trace records (shard aggregation
+    /// still counts them).
+    static SUPPRESS_SPAN_RECORDS: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Nanoseconds since the process-wide monotonic origin.
@@ -68,24 +87,73 @@ pub fn is_enabled() -> bool {
 }
 
 /// Installs `sink` as the process-global record destination and enables
-/// collection. Replaces (and flushes) any previously installed sink.
+/// collection. Replaces (and flushes) any previously installed sink and
+/// resets the metric shards, so each installed sink observes a fresh
+/// run.
 pub fn install(sink: Arc<dyn Sink>) {
     let previous = {
         let mut slot = write_sink();
         slot.replace(sink)
     };
+    shard::reset();
     ENABLED.store(true, Ordering::SeqCst);
     if let Some(prev) = previous {
         prev.flush();
     }
 }
 
+/// Enables collection with a [`NullSink`] if nothing is installed yet;
+/// a no-op when a sink is already present.
+///
+/// This is the switch for consumers that only want the sharded metric
+/// fold (`fedval-serve`'s `metrics` query, `fedload --metrics`) without
+/// caring where trace records go. Like [`install`], a fresh enablement
+/// resets the shards.
+pub fn ensure_enabled() {
+    let installed_now = {
+        let mut slot = write_sink();
+        if slot.is_some() {
+            false
+        } else {
+            *slot = Some(Arc::new(NullSink));
+            true
+        }
+    };
+    if installed_now {
+        shard::reset();
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Disables collection, flushes, and removes the installed sink.
+///
+/// Before detaching, the merged shard state is dumped into the record
+/// stream as one ordered [`Record::Counter`] per counter total and one
+/// [`Record::Gauge`] per final gauge value — so sinks that only see
+/// records (trace files, recording sinks) still carry the run's metric
+/// totals, exactly once each. The shards themselves are left intact:
+/// callers read [`crate::metrics_fold`] *after* shutdown to build
+/// reports.
 ///
 /// Returns `true` if a sink was installed. Span guards still open keep
 /// working — their `Drop` just finds collection disabled and emits
 /// nothing.
 pub fn shutdown() -> bool {
+    if is_enabled() {
+        let fold = shard::metrics_fold();
+        for (name, delta) in &fold.counters {
+            emit(Record::Counter {
+                name: name.clone(),
+                delta: *delta,
+            });
+        }
+        for (name, value) in &fold.gauges {
+            emit(Record::Gauge {
+                name: name.clone(),
+                value: *value,
+            });
+        }
+    }
     ENABLED.store(false, Ordering::SeqCst);
     let previous = {
         let mut slot = write_sink();
@@ -203,41 +271,64 @@ pub fn replay<I: IntoIterator<Item = Record>>(records: I) {
 
 /// Adds `delta` to the named monotonic counter.
 ///
-/// Names are `&'static str` by convention (`crate.subsystem.name`); the
-/// cost when disabled is one atomic load.
+/// Names are `&'static str` (`crate.subsystem.name`); the cost when
+/// disabled is one atomic load, and when enabled a bump of this
+/// thread's metric shard — no record, no sink, no allocation.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
     if !is_enabled() || delta == 0 {
         return;
     }
-    emit(Record::Counter {
-        name: name.to_string(),
-        delta,
-    });
+    shard::with_shard(|s| s.counter_add(name, delta));
 }
 
-/// Sets the named gauge to `value`.
+/// Sets the named gauge to `value` (last write process-wide wins).
 #[inline]
 pub fn gauge_set(name: &'static str, value: f64) {
     if !is_enabled() {
         return;
     }
-    emit(Record::Gauge {
-        name: name.to_string(),
-        value,
-    });
+    shard::with_shard(|s| s.gauge_set(name, value));
 }
 
-/// Records one latency observation (nanoseconds) under `name`.
+/// Records one latency observation (nanoseconds) under `name`, folded
+/// into this thread's shard of the named decade-bucket histogram.
 #[inline]
 pub fn observe_ns(name: &'static str, value_ns: u64) {
     if !is_enabled() {
         return;
     }
-    emit(Record::Observe {
-        name: name.to_string(),
-        value_ns,
-    });
+    shard::with_shard(|s| s.observe_ns(name, value_ns));
+}
+
+/// Restores the suppression depth on unwind.
+struct SuppressRestore;
+
+impl Drop for SuppressRestore {
+    fn drop(&mut self) {
+        SUPPRESS_SPAN_RECORDS.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Runs `f` with span *records* suppressed on this thread: spans opened
+/// inside the scope emit no `SpanStart`/`SpanEnd` (and skip their detail
+/// closures and id allocation), but their shard aggregates — count,
+/// total and max wall time — are still updated exactly once per span.
+///
+/// This is the sampling primitive for deterministic parallel sweeps:
+/// span counts stay exact and scheduling-independent while only a
+/// seeded, index-determined subset of points contributes trace records.
+/// Scopes nest; events and captured records are unaffected.
+pub fn with_span_records_suppressed<T>(f: impl FnOnce() -> T) -> T {
+    SUPPRESS_SPAN_RECORDS.with(|d| d.set(d.get() + 1));
+    let _restore = SuppressRestore;
+    f()
+}
+
+fn span_records_suppressed() -> bool {
+    SUPPRESS_SPAN_RECORDS
+        .try_with(|d| d.get() > 0)
+        .unwrap_or(false)
 }
 
 /// Emits a structured event. `fields` is only invoked when collection is
@@ -272,6 +363,11 @@ where
     if !is_enabled() {
         return SpanGuard { inner: None };
     }
+    if span_records_suppressed() {
+        // Aggregation-only guard: the detail closure is trace payload,
+        // so it is skipped along with the records.
+        return span_inner(name, None);
+    }
     span_inner(name, Some(detail()))
 }
 
@@ -279,8 +375,20 @@ fn span_inner(name: &'static str, detail: Option<String>) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { inner: None };
     }
-    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     let t_ns = now_ns();
+    if span_records_suppressed() {
+        // No trace record, no id, no place on the nesting stack — the
+        // guard exists purely to feed the shard span aggregate on drop.
+        return SpanGuard {
+            inner: Some(SpanInner {
+                id: 0,
+                name,
+                start_ns: t_ns,
+                recorded: false,
+            }),
+        };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|stack| {
         // try_borrow_mut: a sink that itself opens spans (none do today)
         // must degrade to a parentless span rather than panic.
@@ -305,6 +413,7 @@ fn span_inner(name: &'static str, detail: Option<String>) -> SpanGuard {
             id,
             name,
             start_ns: t_ns,
+            recorded: true,
         }),
     }
 }
@@ -313,6 +422,9 @@ struct SpanInner {
     id: u64,
     name: &'static str,
     start_ns: u64,
+    /// False for suppressed spans: no records were emitted at open, so
+    /// none are emitted at close and no stack entry exists to pop.
+    recorded: bool,
 }
 
 /// RAII guard for an open span; emits `SpanEnd` on drop.
@@ -338,24 +450,34 @@ impl Drop for SpanGuard {
         let Some(inner) = self.inner.take() else {
             return;
         };
-        SPAN_STACK.with(|stack| {
-            if let Ok(mut s) = stack.try_borrow_mut() {
-                if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
-                    s.remove(pos);
+        if inner.recorded {
+            SPAN_STACK.with(|stack| {
+                if let Ok(mut s) = stack.try_borrow_mut() {
+                    if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+                        s.remove(pos);
+                    }
                 }
-            }
-        });
+            });
+        }
         if !is_enabled() {
             // Sink was shut down while the span was open: nesting state
             // is cleaned up above, but there is nowhere to report to.
             return;
         }
         let t_ns = now_ns();
+        let dur_ns = t_ns.saturating_sub(inner.start_ns);
+        // Every completed span — recorded or suppressed — counts exactly
+        // once in the shard aggregates; suppression only elides the
+        // trace records.
+        shard::with_shard(|s| s.span_end(inner.name, dur_ns));
+        if !inner.recorded {
+            return;
+        }
         emit(Record::SpanEnd {
             id: inner.id,
             name: inner.name.to_string(),
             t_ns,
-            dur_ns: t_ns.saturating_sub(inner.start_ns),
+            dur_ns,
         });
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::histogram::Histogram;
 use crate::record::Record;
+use crate::shard::MetricsFold;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -74,6 +75,29 @@ impl RunReport {
                 Record::Event { name, .. } => {
                     *report.event_counts.entry(name.clone()).or_insert(0) += 1;
                 }
+            }
+        }
+        report
+    }
+
+    /// Builds a report from a metric fold plus the run's record stream:
+    /// spans, counters, gauges, and histograms come from the sharded
+    /// fold (timing included, exact regardless of span-record sampling);
+    /// event counts come from the records. `Counter`/`Gauge`/`Observe`
+    /// records — including the totals [`crate::shutdown`] dumps — are
+    /// ignored to avoid double counting, and `SpanEnd` records are
+    /// ignored because the fold's aggregates already cover every span.
+    pub fn from_parts(fold: &MetricsFold, records: &[Record]) -> RunReport {
+        let mut report = RunReport {
+            spans: fold.spans.clone(),
+            counters: fold.counters.clone(),
+            gauges: fold.gauges.clone(),
+            histograms: fold.histograms.clone(),
+            event_counts: BTreeMap::new(),
+        };
+        for r in records {
+            if let Record::Event { name, .. } = r {
+                *report.event_counts.entry(name.clone()).or_insert(0) += 1;
             }
         }
         report

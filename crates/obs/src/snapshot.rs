@@ -8,7 +8,8 @@
 //! is pinned by the workspace's `obs_determinism` guard test and is what
 //! the resume/replay story leans on.
 
-use crate::record::{json_f64, Record};
+use crate::record::{escape_json, json_f64, Record};
+use crate::shard::MetricsFold;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -69,6 +70,40 @@ impl MetricsSnapshot {
         snap
     }
 
+    /// Builds a snapshot from a metric fold plus the run's record
+    /// stream: counters, gauges, span counts and observation counts come
+    /// from the sharded fold (exact regardless of span-record sampling);
+    /// event payloads come from the records. `Counter`/`Gauge`/`Observe`
+    /// records — including the totals [`crate::shutdown`] dumps — are
+    /// deliberately ignored so fold-sourced values are never double
+    /// counted.
+    pub fn from_parts(fold: &MetricsFold, records: &[Record]) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            counters: fold.counters.clone(),
+            gauges: fold.gauges.clone(),
+            span_counts: fold.spans.iter().map(|(n, s)| (n.clone(), s.count)).collect(),
+            observe_counts: fold
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.count))
+                .collect(),
+            events: BTreeMap::new(),
+        };
+        for r in records {
+            if let Record::Event { name, fields } = r {
+                let mut payload = String::new();
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        payload.push(' ');
+                    }
+                    let _ = write!(payload, "{k}={v}");
+                }
+                snap.events.entry(name.clone()).or_default().push(payload);
+            }
+        }
+        snap
+    }
+
     /// Counter value, defaulting to 0 when never incremented.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -109,6 +144,44 @@ impl MetricsSnapshot {
                 let _ = writeln!(out, "  {p}");
             }
         }
+        out
+    }
+
+    /// Renders the snapshot as one deterministic JSON object —
+    /// the `--metrics <path>` dump format of `fedload` and `fedchaos`.
+    /// Event payloads are collapsed to occurrence counts.
+    pub fn to_json(&self) -> String {
+        fn u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+            out.push('{');
+            for (i, (name, value)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{value}", escape_json(name));
+            }
+            out.push('}');
+        }
+        let mut out = String::from("{\"counters\":");
+        u64_map(&mut out, &self.counters);
+        out.push_str(",\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(name), json_f64(*value));
+        }
+        out.push_str("},\"spans\":");
+        u64_map(&mut out, &self.span_counts);
+        out.push_str(",\"observations\":");
+        u64_map(&mut out, &self.observe_counts);
+        out.push_str(",\"events\":{");
+        for (i, (name, payloads)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(name), payloads.len());
+        }
+        out.push_str("}}");
         out
     }
 }

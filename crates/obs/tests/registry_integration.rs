@@ -29,6 +29,9 @@ fn registry_scenarios() {
     capture_diverts_this_thread_only_and_replay_forwards();
     capture_scopes_nest_and_survive_unwind();
     capture_when_disabled_is_free();
+    sharded_fold_merges_threads_and_flushes_exits();
+    suppressed_spans_count_without_records();
+    ensure_enabled_installs_a_null_sink_once();
 }
 
 fn nesting_links_parents() {
@@ -141,15 +144,15 @@ fn capture_diverts_this_thread_only_and_replay_forwards() {
         fedval_obs::counter_add("t.capture.before", 1);
         let ((), captured) = fedval_obs::capture(|| {
             let _span = fedval_obs::span("t.capture.inner");
+            // Counters bypass the record stream entirely now: they land
+            // in this thread's metric shard even inside a capture.
             fedval_obs::counter_add("t.capture.diverted", 2);
-            // Records emitted on OTHER threads during the scope go
-            // straight to the sink, not into this thread's buffer.
             std::thread::spawn(|| fedval_obs::counter_add("t.capture.other_thread", 1))
                 .join()
                 .expect("emitting thread panicked");
         });
-        // Nothing from the captured closure reached the sink yet.
-        assert_eq!(captured.len(), 3, "span start+end and one counter: {captured:?}");
+        // Only the span records were buffered; counters went to shards.
+        assert_eq!(captured.len(), 2, "span start+end only: {captured:?}");
         fedval_obs::replay(captured);
     });
     let snap = MetricsSnapshot::from_records(&records);
@@ -157,8 +160,8 @@ fn capture_diverts_this_thread_only_and_replay_forwards() {
     assert_eq!(snap.counter("t.capture.diverted"), 2);
     assert_eq!(snap.counter("t.capture.other_thread"), 1);
     assert_eq!(snap.spans("t.capture.inner"), 1);
-    // Replay happened after the other-thread counter (buffered records
-    // are forwarded when the coordinator chooses, not when emitted).
+    // Counter records exist only as the shutdown dump: exactly one per
+    // name, ordered by name.
     let names: Vec<&str> = records
         .iter()
         .filter(|r| matches!(r, Record::Counter { .. }))
@@ -166,16 +169,17 @@ fn capture_diverts_this_thread_only_and_replay_forwards() {
         .collect();
     assert_eq!(
         names,
-        vec!["t.capture.before", "t.capture.other_thread", "t.capture.diverted"]
+        vec!["t.capture.before", "t.capture.diverted", "t.capture.other_thread"]
     );
 }
 
 fn capture_scopes_nest_and_survive_unwind() {
     let records = with_fresh_sink(|| {
+        // Events still travel as records, so they exercise the nesting.
         let ((), outer) = fedval_obs::capture(|| {
-            fedval_obs::counter_add("t.nestcap.outer", 1);
+            fedval_obs::event("t.nestcap.outer", Vec::new);
             let ((), inner) = fedval_obs::capture(|| {
-                fedval_obs::counter_add("t.nestcap.inner", 1);
+                fedval_obs::event("t.nestcap.inner", Vec::new);
             });
             assert_eq!(inner.len(), 1);
             // Replaying inside a capture scope lands in that scope.
@@ -192,8 +196,8 @@ fn capture_scopes_nest_and_survive_unwind() {
         fedval_obs::replay(outer);
     });
     let snap = MetricsSnapshot::from_records(&records);
-    assert_eq!(snap.counter("t.nestcap.outer"), 1);
-    assert_eq!(snap.counter("t.nestcap.inner"), 1);
+    assert_eq!(snap.events["t.nestcap.outer"].len(), 1);
+    assert_eq!(snap.events["t.nestcap.inner"].len(), 1);
     assert_eq!(
         snap.counter("t.nestcap.after_panic"),
         1,
@@ -209,6 +213,73 @@ fn capture_when_disabled_is_free() {
     });
     assert_eq!(out, 7);
     assert!(captured.is_empty(), "disabled capture must record nothing");
+}
+
+fn sharded_fold_merges_threads_and_flushes_exits() {
+    let _records = with_fresh_sink(|| {
+        fedval_obs::counter_add("t.fold.hits", 2);
+        fedval_obs::gauge_set("t.fold.depth", 4.0);
+        fedval_obs::observe_ns("t.fold.lat_ns", 1_500);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    fedval_obs::counter_add("t.fold.hits", 3);
+                    fedval_obs::observe_ns("t.fold.lat_ns", 2_500);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+        // The workers have exited, so their shards were drained into the
+        // retired accumulator — the fold must still see every increment.
+        let fold = fedval_obs::metrics_fold();
+        assert_eq!(fold.counter("t.fold.hits"), 14);
+        assert_eq!(fold.gauge("t.fold.depth"), Some(4.0));
+        let h = fold.histogram("t.fold.lat_ns").expect("histogram exists");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1_500 + 4 * 2_500);
+        assert_eq!(h.min_ns, 1_500);
+        assert_eq!(h.max_ns, 2_500);
+    });
+}
+
+fn suppressed_spans_count_without_records() {
+    let records = with_fresh_sink(|| {
+        fedval_obs::with_span_records_suppressed(|| {
+            let _a = fedval_obs::span("t.suppress.span");
+            let _b = fedval_obs::span_with("t.suppress.detail", || {
+                panic!("detail closure must be skipped while suppressed")
+            });
+        });
+        {
+            let _v = fedval_obs::span("t.suppress.visible");
+        }
+        let fold = fedval_obs::metrics_fold();
+        assert_eq!(fold.span_count("t.suppress.span"), 1);
+        assert_eq!(fold.span_count("t.suppress.detail"), 1);
+        assert_eq!(fold.span_count("t.suppress.visible"), 1);
+    });
+    // Suppressed spans left no trace records; the visible one has both.
+    assert!(records
+        .iter()
+        .all(|r| r.name() != "t.suppress.span" && r.name() != "t.suppress.detail"));
+    assert_eq!(
+        records.iter().filter(|r| r.name() == "t.suppress.visible").count(),
+        2
+    );
+}
+
+fn ensure_enabled_installs_a_null_sink_once() {
+    assert!(!fedval_obs::is_enabled());
+    fedval_obs::ensure_enabled();
+    assert!(fedval_obs::is_enabled());
+    fedval_obs::counter_add("t.ensure.count", 1);
+    // Idempotent: a second call must not reset accumulated state.
+    fedval_obs::ensure_enabled();
+    assert_eq!(fedval_obs::metrics_fold().counter("t.ensure.count"), 1);
+    assert!(fedval_obs::shutdown());
+    assert!(!fedval_obs::is_enabled());
 }
 
 fn threads_get_independent_span_stacks() {

@@ -29,6 +29,7 @@ struct Options {
     config: ChaosConfig,
     seeds: u64,
     stats: bool,
+    metrics: Option<String>,
     shutdown: bool,
 }
 
@@ -51,6 +52,8 @@ fn usage() -> &'static str {
        --expect-stall-close    require the server to close stalled frames\n\
                                (use with tight --io-timeout-ms servers)\n\
        --stats                 print the server's stats payload after the run\n\
+       --metrics PATH          dump the harness's merged metric registry\n\
+                               (MetricsSnapshot JSON) at exit\n\
        --shutdown              send a shutdown query when the campaign ends\n"
 }
 
@@ -60,6 +63,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         config: ChaosConfig::default(),
         seeds: 1,
         stats: false,
+        metrics: None,
         shutdown: false,
     };
     let mut it = args.iter();
@@ -120,6 +124,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let ms: u64 = value.parse().map_err(|e| format!("--hold-ms: {e}"))?;
                 opts.config.hold = Duration::from_millis(ms);
             }
+            "--metrics" => opts.metrics = Some(value.clone()),
             "--client-timeout-ms" => {
                 let ms: u64 = value
                     .parse()
@@ -163,6 +168,11 @@ fn send_shutdown(addr: &str, timeout: Duration) -> Result<(), String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse(&args)?;
+    if opts.metrics.is_some() {
+        // Enable the sharded registry (NullSink) so the campaign's
+        // client-side telemetry accumulates for the exit dump.
+        fedval_obs::ensure_enabled();
+    }
 
     let mut failed = false;
     for offset in 0..opts.seeds {
@@ -171,6 +181,9 @@ fn run() -> Result<(), String> {
             ..opts.config.clone()
         };
         let report = chaos::run(&opts.addr, &config);
+        fedval_obs::counter_add("chaos.seeds", 1);
+        fedval_obs::counter_add("chaos.probe_mismatches", report.probe_mismatches);
+        fedval_obs::counter_add("chaos.invariant_failures", report.failures.len() as u64);
         println!("{{\"seed\":{},\"report\":{}}}", config.seed, report.to_json());
         if !report.passed() {
             eprintln!(
@@ -190,6 +203,13 @@ fn run() -> Result<(), String> {
     if opts.stats {
         let stats = chaos::fetch_stats(&opts.addr, opts.config.client_timeout)?;
         println!("{stats}");
+    }
+    if let Some(path) = &opts.metrics {
+        // Written even for failed campaigns: the dump is the evidence.
+        let fold = fedval_obs::metrics_fold();
+        let snapshot = fedval_obs::MetricsSnapshot::from_parts(&fold, &[]);
+        std::fs::write(path, format!("{}\n", snapshot.to_json()))
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
     }
     if opts.shutdown {
         send_shutdown(&opts.addr, opts.config.client_timeout)?;
@@ -241,6 +261,8 @@ mod tests {
             "250",
             "--client-timeout-ms",
             "900",
+            "--metrics",
+            "chaos-metrics.json",
             "--panic-injection",
             "--expect-stall-close",
             "--stats",
@@ -260,6 +282,7 @@ mod tests {
         assert!(opts.config.panic_injection);
         assert!(opts.config.expect_stall_close);
         assert!(opts.stats);
+        assert_eq!(opts.metrics.as_deref(), Some("chaos-metrics.json"));
         assert!(opts.shutdown);
     }
 

@@ -53,6 +53,8 @@ struct Options {
     kind: String,
     seed: u64,
     out: Option<String>,
+    metrics: Option<String>,
+    scrape: Option<String>,
     shutdown: bool,
     retry: u32,
     open_loop: bool,
@@ -76,6 +78,10 @@ fn usage() -> &'static str {
        --rate R              offered load in req/s across all connections\n\
                              (open loop; default 1000)\n\
        --out PATH            write the JSON report here (e.g. BENCH_serve.json)\n\
+       --metrics PATH        dump the client's merged metric registry\n\
+                             (MetricsSnapshot JSON) at exit\n\
+       --scrape PATH         after the run, issue one `metrics` query and\n\
+                             write the raw response line here (CI scrapes it)\n\
        --shutdown            send a shutdown query when the run completes\n"
 }
 
@@ -87,6 +93,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         kind: "shapley".to_string(),
         seed: 42,
         out: None,
+        metrics: None,
+        scrape: None,
         shutdown: false,
         retry: 0,
         open_loop: false,
@@ -140,6 +148,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.kind = value.clone();
             }
             "--out" => opts.out = Some(value.clone()),
+            "--metrics" => opts.metrics = Some(value.clone()),
+            "--scrape" => opts.scrape = Some(value.clone()),
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
     }
@@ -216,12 +226,18 @@ struct ConnReport {
     histogram: Histogram,
 }
 
-/// Strips the `{"id":N,` prefix so determinism is compared on the
-/// response *body* (ids differ across connections by construction).
+/// Strips the `{"id":N,` prefix and any `,"trace_id":N` exemplar tag
+/// so determinism is compared on the response *body* (ids differ
+/// across connections by construction; trace ids are intentionally
+/// per-request metadata the server appends to slow responses).
 fn body_of(line: &str) -> &str {
-    match line.find(",\"ok\":") {
+    let body = match line.find(",\"ok\":") {
         Some(pos) => &line[pos..],
         None => line,
+    };
+    match body.find(",\"trace_id\":") {
+        Some(pos) => &body[..pos],
+        None => body.strip_suffix('}').unwrap_or(body),
     }
 }
 
@@ -363,6 +379,8 @@ fn drive_connection(
         }
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         report.histogram.observe(elapsed_ns);
+        // Also lands in this thread's metric shard for `--metrics`.
+        fedval_obs::observe_ns("load.request_ns", elapsed_ns);
     }
     Ok(report)
 }
@@ -412,6 +430,7 @@ fn drive_open_loop(
             let elapsed_ns =
                 u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX);
             report.histogram.observe(elapsed_ns);
+            fedval_obs::observe_ns("load.request_ns", elapsed_ns);
             match classify(trimmed) {
                 Outcome::Ok => {
                     report.ok += 1;
@@ -471,6 +490,23 @@ fn drive_open_loop(
         return Err(failure);
     }
     Ok(report)
+}
+
+/// Issues one `metrics` query and writes the raw response line to
+/// `path` — the CI smoke stage greps it for a well-formed exposition.
+fn scrape_metrics(addr: &str, path: &str) -> Result<(), String> {
+    let (mut reader, mut writer) = connect_to(addr)?;
+    writer
+        .write_all(b"{\"id\":0,\"kind\":\"metrics\"}\n")
+        .map_err(|e| format!("send metrics: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("recv metrics: {e}"))?;
+    if !line.contains("\"ok\":true") || !line.contains("\"kind\":\"metrics\"") {
+        return Err(format!("unexpected metrics response: {}", line.trim_end()));
+    }
+    std::fs::write(path, &line).map_err(|e| format!("--scrape {path}: {e}"))
 }
 
 fn send_shutdown(addr: &str) -> Result<(), String> {
@@ -554,6 +590,11 @@ fn merge(total: &mut ConnReport, part: &ConnReport) {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse(&args)?;
+    if opts.metrics.is_some() {
+        // Enable the sharded registry (NullSink) so per-connection
+        // threads accumulate latency shards for the exit dump.
+        fedval_obs::ensure_enabled();
+    }
 
     let canonical_shapley: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
@@ -588,6 +629,9 @@ fn run() -> Result<(), String> {
     }
     let wall = started.elapsed();
 
+    if let Some(path) = &opts.scrape {
+        scrape_metrics(&opts.addr, path)?;
+    }
     if opts.shutdown {
         send_shutdown(&opts.addr)?;
     }
@@ -596,6 +640,21 @@ fn run() -> Result<(), String> {
     println!("{report}");
     if let Some(path) = &opts.out {
         std::fs::write(path, format!("{report}\n")).map_err(|e| format!("--out {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics {
+        // Fold the run-wide tallies in as counters, then dump the
+        // merged registry (written even when the run then fails, so a
+        // red run still leaves its telemetry behind).
+        fedval_obs::counter_add("load.req.ok", total.ok);
+        fedval_obs::counter_add("load.req.busy", total.busy);
+        fedval_obs::counter_add("load.req.deadline", total.deadline);
+        fedval_obs::counter_add("load.req.fatal", total.protocol_errors + total.mismatches);
+        fedval_obs::counter_add("load.req.lost", total.lost);
+        fedval_obs::counter_add("load.retries", total.retries);
+        let fold = fedval_obs::metrics_fold();
+        let snapshot = fedval_obs::MetricsSnapshot::from_parts(&fold, &[]);
+        std::fs::write(path, format!("{}\n", snapshot.to_json()))
+            .map_err(|e| format!("--metrics {path}: {e}"))?;
     }
 
     let failures = failures.lock().map(|f| f.clone()).unwrap_or_default();
@@ -646,6 +705,8 @@ mod tests {
             "3",
             "--out",
             "report.json",
+            "--metrics",
+            "metrics.json",
             "--shutdown",
         ]))
         .unwrap();
@@ -656,6 +717,7 @@ mod tests {
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.retry, 3);
         assert_eq!(opts.out.as_deref(), Some("report.json"));
+        assert_eq!(opts.metrics.as_deref(), Some("metrics.json"));
         assert!(opts.shutdown);
         assert!(!opts.open_loop);
     }
@@ -705,6 +767,17 @@ mod tests {
         let b = "{\"id\":9,\"ok\":true,\"kind\":\"shapley\"}";
         assert_eq!(body_of(a), body_of(b));
         assert_eq!(body_of("garbage"), "garbage");
+    }
+
+    #[test]
+    fn body_of_strips_trace_ids() {
+        // A slow-request exemplar tag must not trip the byte-identity
+        // check: same body, different trace ids, one untagged.
+        let slow_a = "{\"id\":1,\"ok\":true,\"kind\":\"shapley\",\"trace_id\":7}";
+        let slow_b = "{\"id\":2,\"ok\":true,\"kind\":\"shapley\",\"trace_id\":9}";
+        let fast = "{\"id\":3,\"ok\":true,\"kind\":\"shapley\"}";
+        assert_eq!(body_of(slow_a), body_of(slow_b));
+        assert_eq!(body_of(slow_a), body_of(fast));
     }
 
     #[test]

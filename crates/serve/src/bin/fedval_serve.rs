@@ -34,6 +34,7 @@ struct Options {
     chaos_harness: bool,
     warm: bool,
     whatif_cache: usize,
+    slow_trace_ms: u64,
     spec: ScenarioSpec,
     trace: Option<String>,
 }
@@ -62,6 +63,10 @@ fn usage() -> &'static str {
                                 shapley/nucleolus payloads before listening\n\
        --whatif-cache N         bounded LRU of derived what-if scenarios\n\
                                 (default 64)\n\
+       --slow-trace-ms MS       compute requests executing at least this long\n\
+                                dump their span tree to the trace sink and\n\
+                                carry a trace_id in the response (default 250;\n\
+                                0 traces every request)\n\
        --trace PATH             write a JSONL observability trace\n\
      \n\
      scenario options (defaults reproduce the paper's §4.1 example):\n\
@@ -85,6 +90,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         chaos_harness: false,
         warm: false,
         whatif_cache: 64,
+        slow_trace_ms: 250,
         spec: ScenarioSpec::paper_4_1(),
         trace: None,
     };
@@ -152,6 +158,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--whatif-cache" => {
                 opts.whatif_cache = value.parse().map_err(|e| format!("--whatif-cache: {e}"))?;
+            }
+            "--slow-trace-ms" => {
+                opts.slow_trace_ms = value
+                    .parse()
+                    .map_err(|e| format!("--slow-trace-ms: {e}"))?;
             }
             "--locations" => {
                 opts.spec.locations = value
@@ -228,6 +239,7 @@ fn run() -> Result<(), String> {
         frame_deadline: Duration::from_millis(opts.frame_deadline_ms),
         idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
         chaos_panic: opts.chaos_harness,
+        slow_trace: Duration::from_millis(opts.slow_trace_ms),
     };
     let server = Server::start(state, &opts.addr, config)
         .map_err(|e| format!("bind {}: {e}", opts.addr))?;
@@ -310,6 +322,13 @@ mod tests {
         assert_eq!(opts.deadline_ms, 250);
         assert!(opts.warm);
         assert_eq!(opts.whatif_cache, 5);
+    }
+
+    #[test]
+    fn parses_slow_trace_threshold() {
+        assert_eq!(parse(&args(&[])).unwrap().slow_trace_ms, 250);
+        let opts = parse(&args(&["--slow-trace-ms", "0"])).unwrap();
+        assert_eq!(opts.slow_trace_ms, 0, "0 traces every request");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`state`] — scenario specification, warm caches, query
 //!   execution, the bounded what-if LRU.
 //! * [`lru`] — the deterministic bounded LRU map backing what-ifs.
+//! * [`metrics`] — the per-second time-series ring buffer and the
+//!   `metrics` query payload (JSON-escaped Prometheus-style exposition
+//!   of the merged sharded registry plus the ring).
 //! * [`server`] — acceptor / reader / worker threads, the bounded
 //!   queue with `BUSY` backpressure, per-connection read/write
 //!   deadlines with byte-progress tracking, worker supervision
@@ -41,11 +44,13 @@
 
 pub mod chaos;
 pub mod lru;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod state;
 
 pub use chaos::{ChaosConfig, ChaosReport, ChaosRng, FaultKind};
+pub use metrics::{MetricsRing, RingSample};
 pub use protocol::{parse_request, ProtocolError, QueryKind, Request, MAX_FRAME};
 pub use server::{DrainReport, Server, ServerConfig, ServerStats};
 pub use state::{ScenarioSpec, ServeState};

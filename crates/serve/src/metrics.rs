@@ -1,0 +1,185 @@
+//! Live telemetry surfaces: the per-second time-series ring buffer and
+//! the rendering of the `metrics` query payload.
+//!
+//! A background sampler thread (owned by the server) appends one
+//! [`RingSample`] per second: request rate and latency percentiles are
+//! **deltas** between consecutive merged folds of the sharded metric
+//! registry ([`fedval_obs::metrics_fold`] + [`Histogram::delta`]), so
+//! each sample describes *that* second, not the process lifetime. The
+//! ring is bounded ([`MetricsRing::new`]) — a week-long server holds the
+//! last couple of minutes, which is what a dashboard polling the
+//! `metrics` query actually wants.
+//!
+//! [`Histogram::delta`]: fedval_obs::Histogram::delta
+
+use fedval_obs::{escape_json, json_f64, Histogram, MetricsFold};
+use std::collections::VecDeque;
+
+/// One per-second observation of the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSample {
+    /// Seconds since server start at sample time.
+    pub t_s: u64,
+    /// Requests answered during the window (ok + error), per second.
+    pub req_rate: f64,
+    /// p50 of `serve.request_ns` within the window, ns (0 when idle).
+    pub p50_ns: u64,
+    /// p95 of `serve.request_ns` within the window, ns.
+    pub p95_ns: u64,
+    /// p99 of `serve.request_ns` within the window, ns.
+    pub p99_ns: u64,
+    /// Compute-queue depth at sample time.
+    pub queue_depth: u64,
+    /// Cumulative what-if cache hit ratio (0.0 before any what-if).
+    pub cache_hit_ratio: f64,
+}
+
+impl RingSample {
+    /// Renders the sample as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_s\":{},\"req_rate\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"queue_depth\":{},\"cache_hit_ratio\":{}}}",
+            self.t_s,
+            json_f64(self.req_rate),
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.queue_depth,
+            json_f64(self.cache_hit_ratio),
+        )
+    }
+}
+
+/// Bounded ring of [`RingSample`]s plus the previous fold's cumulative
+/// state, so each push computes window deltas.
+#[derive(Debug)]
+pub struct MetricsRing {
+    capacity: usize,
+    samples: VecDeque<RingSample>,
+    prev_answered: u64,
+    prev_request_hist: Histogram,
+}
+
+impl MetricsRing {
+    /// An empty ring holding at most `capacity` samples (floor 1).
+    pub fn new(capacity: usize) -> MetricsRing {
+        MetricsRing {
+            capacity: capacity.max(1),
+            samples: VecDeque::new(),
+            prev_answered: 0,
+            prev_request_hist: Histogram::new(),
+        }
+    }
+
+    /// Folds one per-second observation into the ring: `fold` is the
+    /// freshly merged registry, `elapsed_s` the seconds since the
+    /// previous push (floor 1 — the sampler ticks at ~1 Hz but a loaded
+    /// scheduler can stretch the interval), `queue_depth` the compute
+    /// queue's length right now.
+    pub fn push(&mut self, fold: &MetricsFold, t_s: u64, elapsed_s: f64, queue_depth: u64) {
+        let answered = fold.counter("serve.req.ok") + fold.counter("serve.req.error");
+        let hist = fold
+            .histogram("serve.request_ns")
+            .cloned()
+            .unwrap_or_default();
+        let window = hist.delta(&self.prev_request_hist);
+        let interval = if elapsed_s > 0.0 { elapsed_s } else { 1.0 };
+        let sample = RingSample {
+            t_s,
+            req_rate: answered.saturating_sub(self.prev_answered) as f64 / interval,
+            p50_ns: window.p50_ns(),
+            p95_ns: window.p95_ns(),
+            p99_ns: window.percentile_ns(99.0),
+            queue_depth,
+            cache_hit_ratio: fold.cache_ratio("serve.whatif").unwrap_or(0.0),
+        };
+        self.prev_answered = answered;
+        self.prev_request_hist = hist;
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Samples currently held, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &RingSample> {
+        self.samples.iter()
+    }
+
+    /// Renders the ring as a JSON array, oldest first.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self.samples.iter().map(RingSample::to_json).collect();
+        format!("[{}]", entries.join(","))
+    }
+}
+
+/// Renders the `metrics` query payload: uptime, the Prometheus-style
+/// exposition of `fold` (JSON-escaped — newlines become `\n`), and the
+/// ring buffer.
+pub fn render_metrics_payload(fold: &MetricsFold, uptime_s: u64, ring: &MetricsRing) -> String {
+    format!(
+        "\"kind\":\"metrics\",\"uptime_s\":{uptime_s},\"exposition\":\"{}\",\"ring\":{}",
+        escape_json(&fold.to_prometheus()),
+        ring.to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold_with(ok: u64, lat_ns: &[u64]) -> MetricsFold {
+        let mut fold = MetricsFold::default();
+        fold.counters.insert("serve.req.ok".to_string(), ok);
+        let mut h = Histogram::new();
+        for &v in lat_ns {
+            h.observe(v);
+        }
+        fold.histograms.insert("serve.request_ns".to_string(), h);
+        fold
+    }
+
+    #[test]
+    fn ring_reports_window_deltas_not_lifetime_totals() {
+        let mut ring = MetricsRing::new(8);
+        ring.push(&fold_with(10, &[1_000; 10]), 1, 1.0, 0);
+        // Second window: 30 more requests, all ~1ms — the percentiles
+        // must reflect the 1ms window, not the mixed lifetime.
+        let mut second = fold_with(40, &[1_000; 10]);
+        if let Some(h) = second.histograms.get_mut("serve.request_ns") {
+            for _ in 0..30 {
+                h.observe(1_000_000);
+            }
+        }
+        ring.push(&second, 2, 1.0, 3);
+        let last = ring.samples().last().expect("two samples pushed");
+        assert_eq!(last.req_rate, 30.0);
+        assert_eq!(last.queue_depth, 3);
+        assert!(
+            last.p50_ns > 100_000,
+            "window p50 must see only the 1ms requests, got {}",
+            last.p50_ns
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut ring = MetricsRing::new(3);
+        for t in 0..10 {
+            ring.push(&fold_with(t, &[]), t, 1.0, 0);
+        }
+        let ts: Vec<u64> = ring.samples().map(|s| s.t_s).collect();
+        assert_eq!(ts, vec![7, 8, 9], "oldest samples must be evicted");
+    }
+
+    #[test]
+    fn payload_embeds_escaped_exposition_and_ring() {
+        let mut ring = MetricsRing::new(2);
+        ring.push(&fold_with(5, &[2_000]), 1, 1.0, 1);
+        let payload = render_metrics_payload(&fold_with(5, &[2_000]), 42, &ring);
+        assert!(payload.starts_with("\"kind\":\"metrics\",\"uptime_s\":42,"));
+        assert!(payload.contains("serve_req_ok 5\\n"), "{payload}");
+        assert!(payload.contains("\"ring\":[{\"t_s\":1,"), "{payload}");
+        assert!(!payload.contains('\n'), "payload must stay one line");
+    }
+}

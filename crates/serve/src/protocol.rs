@@ -143,6 +143,11 @@ pub enum QueryKind {
     Health,
     /// Server statistics; answered inline, never queued.
     Stats,
+    /// Live telemetry: Prometheus-style text exposition of the merged
+    /// metric registry plus the per-second time-series ring buffer.
+    /// Answered inline, never queued — observability must survive a
+    /// saturated compute queue.
+    Metrics,
     /// Initiate graceful drain: stop accepting, answer everything
     /// already queued, then exit.
     Shutdown,
@@ -167,6 +172,7 @@ impl QueryKind {
             QueryKind::WhatIfLeave { .. } => "what-if-leave",
             QueryKind::Health => "health",
             QueryKind::Stats => "stats",
+            QueryKind::Metrics => "metrics",
             QueryKind::Shutdown => "shutdown",
             QueryKind::ChaosPanic => "chaos-panic",
         }
@@ -270,6 +276,7 @@ pub fn parse_request(frame: &[u8]) -> Result<Request, ProtocolError> {
         }
         "health" => QueryKind::Health,
         "stats" => QueryKind::Stats,
+        "metrics" => QueryKind::Metrics,
         "shutdown" => QueryKind::Shutdown,
         "chaos-panic" => QueryKind::ChaosPanic,
         other => {

@@ -6,9 +6,12 @@
 //! * **One acceptor thread** owns the listener and spawns one
 //!   I/O-bound reader thread per connection.
 //! * **Reader threads** frame and parse requests. Cheap kinds
-//!   (`health`, `stats`, `shutdown`) are answered inline so they stay
-//!   responsive even when the compute queue is saturated. Compute
-//!   kinds are pushed onto the shared bounded queue.
+//!   (`health`, `stats`, `metrics`, `shutdown`) are answered inline so
+//!   they stay responsive even when the compute queue is saturated.
+//!   Compute kinds are pushed onto the shared bounded queue.
+//! * **One sampler thread** folds the sharded metric registry into the
+//!   per-second ring buffer the `metrics` query serves (see
+//!   [`crate::metrics`]).
 //! * **A fixed pool of `threads` worker threads** pops the queue,
 //!   enforces the per-request deadline, executes against the warm
 //!   [`ServeState`], and writes the response. Responses carry the
@@ -32,10 +35,12 @@
 //! queued, and joins all threads. Requests arriving mid-drain get
 //! `SHUTTING_DOWN`.
 
+use crate::metrics::{render_metrics_payload, MetricsRing};
 use crate::protocol::{
     parse_request, render_err, render_ok, ProtocolError, QueryKind, Request, MAX_FRAME,
 };
 use crate::state::{lock_recover, ServeState};
+use fedval_obs::OrderedMutex;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -77,6 +82,12 @@ pub struct ServerConfig {
     /// by the `fedchaos` harness to prove worker supervision works).
     /// Disabled by default; disabled servers answer it `BAD_REQUEST`.
     pub chaos_panic: bool,
+    /// Execution-time threshold for slow-request exemplars: a compute
+    /// request whose `execute` takes at least this long has its
+    /// captured span tree replayed into the trace sink and its response
+    /// tagged with the request's trace id. Tests set
+    /// [`Duration::ZERO`] to make every request an exemplar.
+    pub slow_trace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +101,7 @@ impl Default for ServerConfig {
             frame_deadline: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
             chaos_panic: false,
+            slow_trace: Duration::from_millis(250),
         }
     }
 }
@@ -99,6 +111,47 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Samples the ring holds (~2 minutes at the 1 Hz sample interval).
+const RING_CAPACITY: usize = 120;
+
+/// How often the sampler thread folds the registry into the ring.
+const SAMPLE_INTERVAL: Duration = Duration::from_secs(1);
+
+/// The per-second sampler: folds the sharded registry into one
+/// [`RingSample`](crate::metrics::RingSample) per tick until the drain
+/// flag rises. Rides the shutdown condvar so the drain wakes it
+/// immediately instead of waiting out the final tick.
+fn sampler_loop(shared: &Shared) {
+    let mut last = Instant::now();
+    loop {
+        {
+            let mut flagged = lock_recover(&shared.shutdown_signal);
+            while !*flagged {
+                let (guard, timeout) = match shared
+                    .shutdown_cv
+                    .wait_timeout(flagged, SAMPLE_INTERVAL)
+                {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                flagged = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *flagged {
+                return;
+            }
+        }
+        let fold = fedval_obs::metrics_fold();
+        let t_s = shared.started.elapsed().as_secs();
+        let elapsed_s = last.elapsed().as_secs_f64();
+        last = Instant::now();
+        let queue_depth = lock_recover(&shared.queue).len() as u64;
+        shared.ring.lock().push(&fold, t_s, elapsed_s, queue_depth);
+    }
 }
 
 /// Counters the `stats` query reports. All relaxed: they are
@@ -191,6 +244,13 @@ struct Shared {
     next_conn_id: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
+    /// Per-second time-series ring fed by the sampler thread, served by
+    /// the `metrics` query.
+    ring: OrderedMutex<MetricsRing>,
+    /// Monotone trace-id allocator; every dequeued compute request gets
+    /// one, threaded through its span detail and (for slow requests)
+    /// the response payload.
+    next_trace_id: AtomicU64,
 }
 
 /// A running server. Dropping the handle does **not** stop the
@@ -201,6 +261,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -210,6 +271,11 @@ impl Server {
     /// # Errors
     /// Propagates socket errors from bind/local_addr.
     pub fn start(state: ServeState, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        // The metrics exposition and fold-sourced stats read the global
+        // registry; make sure it is collecting even when the binary did
+        // not install a trace sink (NullSink: records dropped, shards
+        // still accumulate).
+        fedval_obs::ensure_enabled();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let threads = config.threads.max(1);
@@ -227,6 +293,8 @@ impl Server {
             next_conn_id: AtomicU64::new(0),
             conn_threads: Mutex::new(Vec::new()),
             started: Instant::now(),
+            ring: OrderedMutex::new("serve.metrics.ring", MetricsRing::new(RING_CAPACITY)),
+            next_trace_id: AtomicU64::new(1),
         });
 
         let workers = (0..threads)
@@ -241,11 +309,17 @@ impl Server {
             std::thread::spawn(move || acceptor_loop(&listener, &shared))
         };
 
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sampler_loop(&shared))
+        };
+
         Ok(Server {
             local_addr,
             shared,
             acceptor: Some(acceptor),
             workers,
+            sampler: Some(sampler),
         })
     }
 
@@ -297,6 +371,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
         }
 
         let stats = &self.shared.stats;
@@ -618,6 +695,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reque
             // restarted since the previous probe, then acknowledge, so
             // one probe observes the incident and the next reports `ok`
             // again unless restarts continued.
+            fedval_obs::counter_add("serve.req.ok", 1);
             let restarts = shared.stats.worker_restarts.load(Ordering::Relaxed);
             let acked = shared.restarts_acked.swap(restarts, Ordering::Relaxed);
             let payload = if shared.shutting_down.load(Ordering::SeqCst) {
@@ -633,11 +711,26 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reque
         }
         QueryKind::Stats => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.req.ok", 1);
             let payload = stats_payload(shared);
+            respond(shared, writer, &render_ok(request.id, &payload));
+        }
+        QueryKind::Metrics => {
+            shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            // Bump before folding so the scrape's own success is
+            // visible in the exposition it returns.
+            fedval_obs::counter_add("serve.req.ok", 1);
+            let fold = fedval_obs::metrics_fold();
+            let uptime_s = shared.started.elapsed().as_secs();
+            let payload = {
+                let ring = shared.ring.lock();
+                render_metrics_payload(&fold, uptime_s, &ring)
+            };
             respond(shared, writer, &render_ok(request.id, &payload));
         }
         QueryKind::Shutdown => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.req.ok", 1);
             // Raise the drain flag BEFORE acknowledging: once the client
             // reads the response, no later connection can be served
             // normally. This also half-closes our own socket; the next
@@ -651,6 +744,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, request: Reque
         }
         QueryKind::ChaosPanic if !shared.config.chaos_panic => {
             shared.stats.inline_answered.fetch_add(1, Ordering::Relaxed);
+            fedval_obs::counter_add("serve.req.error", 1);
             respond(
                 shared,
                 writer,
@@ -763,11 +857,11 @@ fn process(shared: &Shared, job: Job) {
         writer,
         enqueued,
     } = job;
-    let _span = fedval_obs::span_with("serve.request", || request.kind.name().to_string());
     let waited = enqueued.elapsed();
     if waited > shared.config.deadline {
         shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         fedval_obs::counter_add("serve.deadline_expired", 1);
+        fedval_obs::counter_add("serve.req.error", 1);
         respond(
             shared,
             &writer,
@@ -783,20 +877,48 @@ fn process(shared: &Shared, job: Job) {
         );
         return;
     }
+    let trace_id = shared.next_trace_id.fetch_add(1, Ordering::Relaxed);
+    let exec_start = Instant::now();
     // Per-job guard: a panicking query (a state bug, or the deliberate
     // `chaos-panic` injection) becomes a typed `INTERNAL` response to
     // the client who asked — never a silently lost request — and the
     // worker recovers in place. Counted as a worker restart so `health`
     // degrades and operators see it.
-    let outcome = catch_unwind(AssertUnwindSafe(|| shared.state.execute(&request.kind)));
+    //
+    // The whole execution runs under `capture`: every span/event the
+    // state emits is buffered on this thread (metric shards still see
+    // them) and only replayed into the trace sink when the request
+    // turns out slow — exemplar tracing without per-request sink
+    // traffic on the fast path.
+    let (outcome, captured) = fedval_obs::capture(|| {
+        let _span = fedval_obs::span_with("serve.request", || {
+            format!("kind={} trace_id={trace_id}", request.kind.name())
+        });
+        catch_unwind(AssertUnwindSafe(|| shared.state.execute(&request.kind)))
+    });
+    let exec = exec_start.elapsed();
+    let slow = exec >= shared.config.slow_trace;
     let line = match outcome {
-        Ok(Ok(payload)) => render_ok(request.id, &payload),
-        Ok(Err(err)) => render_err(request.id, err.code, &err.detail),
+        Ok(Ok(payload)) => {
+            fedval_obs::counter_add("serve.req.ok", 1);
+            if slow {
+                // Tag the response so the client can join it with the
+                // exemplar dumped below.
+                render_ok(request.id, &format!("{payload},\"trace_id\":{trace_id}"))
+            } else {
+                render_ok(request.id, &payload)
+            }
+        }
+        Ok(Err(err)) => {
+            fedval_obs::counter_add("serve.req.error", 1);
+            render_err(request.id, err.code, &err.detail)
+        }
         Err(_) => {
             shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
             shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
             fedval_obs::counter_add("serve.worker.restarts", 1);
             fedval_obs::counter_add("serve.req.internal", 1);
+            fedval_obs::counter_add("serve.req.error", 1);
             render_err(
                 request.id,
                 "INTERNAL",
@@ -804,6 +926,18 @@ fn process(shared: &Shared, job: Job) {
             )
         }
     };
+    if slow {
+        let exec_ns = u64::try_from(exec.as_nanos()).unwrap_or(u64::MAX);
+        fedval_obs::counter_add("serve.trace.exemplars", 1);
+        fedval_obs::event("serve.trace.exemplar", || {
+            vec![
+                ("trace_id".to_string(), trace_id.to_string()),
+                ("kind".to_string(), request.kind.name().to_string()),
+                ("exec_ns".to_string(), exec_ns.to_string()),
+            ]
+        });
+        fedval_obs::replay(captured);
+    }
     respond(shared, &writer, &line);
     shared.stats.answered.fetch_add(1, Ordering::Relaxed);
     let total_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -821,20 +955,47 @@ fn counter_for_kind(kind: &QueryKind) {
         QueryKind::WhatIfLeave { .. } => "serve.req.what_if_leave",
         QueryKind::Health => "serve.req.health",
         QueryKind::Stats => "serve.req.stats",
+        QueryKind::Metrics => "serve.req.metrics",
         QueryKind::Shutdown => "serve.req.shutdown",
         QueryKind::ChaosPanic => "serve.req.chaos_panic",
     };
     fedval_obs::counter_add(name, 1);
 }
 
+/// Per-kind request-counter names, in payload order. One list shared
+/// by [`stats_payload`] so adding a kind cannot silently drop it from
+/// `stats`.
+const REQ_KIND_COUNTERS: [(&str, &str); 9] = [
+    ("coalition_value", "serve.req.coalition_value"),
+    ("shapley", "serve.req.shapley"),
+    ("nucleolus", "serve.req.nucleolus"),
+    ("what_if_join", "serve.req.what_if_join"),
+    ("what_if_leave", "serve.req.what_if_leave"),
+    ("health", "serve.req.health"),
+    ("stats", "serve.req.stats"),
+    ("metrics", "serve.req.metrics"),
+    ("shutdown", "serve.req.shutdown"),
+];
+
 fn stats_payload(shared: &Shared) -> String {
     let stats = &shared.stats;
     let queue_depth = lock_recover(&shared.queue).len();
     let open_conns = lock_recover(&shared.conns).len();
+    // Shed/restart tallies, the what-if cache counters, and the
+    // per-kind request counts come from the sharded metric registry —
+    // the same fold the `metrics` exposition reads, so the two surfaces
+    // cannot drift apart. The `ServerStats` atomics stay for the
+    // drain report and the health degradation latch.
+    let fold = fedval_obs::metrics_fold();
+    let per_kind: Vec<String> = REQ_KIND_COUNTERS
+        .iter()
+        .map(|(label, counter)| format!("\"{label}\":{}", fold.counter(counter)))
+        .collect();
     format!(
-        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"shed\":{},\"worker_restarts\":{},\"internal_errors\":{},\"slow_closed\":{},\"write_failed\":{},\"open_conns\":{},\"max_connections\":{},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
+        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"uptime_s\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"shed\":{},\"worker_restarts\":{},\"internal_errors\":{},\"slow_closed\":{},\"write_failed\":{},\"open_conns\":{},\"max_connections\":{},\"req_ok\":{},\"req_error\":{},\"requests\":{{{}}},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
         shared.state.n(),
         shared.started.elapsed().as_millis(),
+        shared.started.elapsed().as_secs(),
         shared.config.threads,
         queue_depth,
         shared.config.queue_depth,
@@ -845,15 +1006,18 @@ fn stats_payload(shared: &Shared) -> String {
         stats.deadline_expired.load(Ordering::Relaxed),
         stats.protocol_errors.load(Ordering::Relaxed),
         stats.refused_draining.load(Ordering::Relaxed),
-        stats.shed.load(Ordering::Relaxed),
-        stats.worker_restarts.load(Ordering::Relaxed),
+        fold.counter("serve.conn.shed"),
+        fold.counter("serve.worker.restarts"),
         stats.internal_errors.load(Ordering::Relaxed),
         stats.slow_closed.load(Ordering::Relaxed),
         stats.write_failed.load(Ordering::Relaxed),
         open_conns,
         shared.config.max_connections,
-        shared.state.whatif_hits(),
-        shared.state.whatif_misses(),
+        fold.counter("serve.req.ok"),
+        fold.counter("serve.req.error"),
+        per_kind.join(","),
+        fold.counter("serve.whatif.hits"),
+        fold.counter("serve.whatif.misses"),
         shared.state.coalitions_cached(),
     )
 }
@@ -979,6 +1143,52 @@ mod tests {
         let stats = roundtrip(&mut reader, &mut stream, "{\"kind\":\"stats\"}");
         assert!(stats.contains("\"queue_capacity\":7"), "{stats}");
         assert!(stats.contains("\"coalitions_cached\":8"), "{stats}");
+        assert!(stats.contains("\"uptime_s\":"), "{stats}");
+        assert!(stats.contains("\"requests\":{\"coalition_value\":"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_query_returns_exposition_and_ring() {
+        let server = start_test_server(ServerConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+        let _ = roundtrip(&mut reader, &mut stream, "{\"id\":1,\"kind\":\"shapley\"}");
+        let m = roundtrip(&mut reader, &mut stream, "{\"id\":2,\"kind\":\"metrics\"}");
+        assert!(m.starts_with("{\"id\":2,\"ok\":true,\"kind\":\"metrics\""), "{m}");
+        assert!(m.contains("\"uptime_s\":"), "{m}");
+        // The exposition is the JSON-escaped Prometheus text; the
+        // scrape's own success was counted before folding, so
+        // serve_req_ok is always present and nonzero.
+        assert!(m.contains("serve_req_ok "), "{m}");
+        assert!(m.contains("\"ring\":["), "{m}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_are_tagged_with_a_trace_id() {
+        let server = start_test_server(ServerConfig {
+            slow_trace: Duration::ZERO, // every compute request is "slow"
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = client(server.local_addr());
+        let a = roundtrip(&mut reader, &mut stream, "{\"id\":1,\"kind\":\"shapley\"}");
+        assert!(a.contains(",\"trace_id\":"), "{a}");
+        // Inline kinds never go through the worker path, so they are
+        // never tagged.
+        let h = roundtrip(&mut reader, &mut stream, "{\"kind\":\"health\"}");
+        assert!(!h.contains("trace_id"), "{h}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn fast_requests_are_not_tagged() {
+        let server = start_test_server(ServerConfig {
+            slow_trace: Duration::from_secs(3600),
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = client(server.local_addr());
+        let a = roundtrip(&mut reader, &mut stream, "{\"id\":1,\"kind\":\"shapley\"}");
+        assert!(!a.contains("trace_id"), "{a}");
         server.shutdown();
     }
 }

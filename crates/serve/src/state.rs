@@ -24,7 +24,6 @@ use fedval_coalition::{nucleolus, CachedGame, Coalition, CoalitionalGame, TableG
 use fedval_core::sharing::shapley_hat_of;
 use fedval_core::{Demand, ExperimentClass, Facility, FederationGame, Volume};
 use fedval_obs::OrderedMutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Everything needed to (re)build a federation scenario. Kept separate
@@ -183,8 +182,6 @@ pub struct ServeState {
     /// validate its acquisition order against every other named lock
     /// (DESIGN.md §12). Poison recovery lives inside the wrapper.
     whatif: OrderedMutex<Lru<WhatIfKey, Result<String, QueryError>>>,
-    whatif_hits: AtomicU64,
-    whatif_misses: AtomicU64,
 }
 
 /// Cache key for one derived scenario.
@@ -205,8 +202,6 @@ impl ServeState {
             shapley: OnceLock::new(),
             nucleolus: OnceLock::new(),
             whatif: OrderedMutex::new("serve.whatif", Lru::new(whatif_capacity)),
-            whatif_hits: AtomicU64::new(0),
-            whatif_misses: AtomicU64::new(0),
         }
     }
 
@@ -218,16 +213,6 @@ impl ServeState {
     /// Player count of the base scenario.
     pub fn n(&self) -> usize {
         self.spec.n()
-    }
-
-    /// What-if LRU hits so far.
-    pub fn whatif_hits(&self) -> u64 {
-        self.whatif_hits.load(Ordering::Relaxed)
-    }
-
-    /// What-if LRU misses so far.
-    pub fn whatif_misses(&self) -> u64 {
-        self.whatif_misses.load(Ordering::Relaxed)
     }
 
     /// Coalition values currently memoized in the single-flight cache.
@@ -350,13 +335,14 @@ impl ServeState {
     }
 
     fn what_if(&self, key: WhatIfKey) -> Result<String, QueryError> {
+        // Hit/miss tallies live only in the sharded metric registry
+        // (`serve.whatif.{hits,misses}`): the stats payload and the
+        // metrics exposition both read the same fold.
         let mut lru = self.whatif.lock();
         if let Some(cached) = lru.get(&key) {
-            self.whatif_hits.fetch_add(1, Ordering::Relaxed);
             fedval_obs::counter_add("serve.whatif.hits", 1);
             return cached.clone();
         }
-        self.whatif_misses.fetch_add(1, Ordering::Relaxed);
         fedval_obs::counter_add("serve.whatif.misses", 1);
         // Solve while holding the LRU lock: what-if misses are the rare
         // expensive path, and the lock gives single-flight semantics —
@@ -493,10 +479,10 @@ mod tests {
         };
         let a = s.execute(&kind).unwrap();
         assert!(a.starts_with("\"kind\":\"what-if-join\",\"n\":4,"), "{a}");
-        assert_eq!(s.whatif_misses(), 1);
+        assert_eq!(s.whatif.lock().len(), 1, "the miss must populate the LRU");
         let b = s.execute(&kind).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(s.whatif_hits(), 1, "second identical what-if must hit");
+        assert_eq!(a, b, "the hit must serve the cached bytes");
+        assert_eq!(s.whatif.lock().len(), 1, "the hit must not re-insert");
     }
 
     #[test]
@@ -521,8 +507,8 @@ mod tests {
         let again = s
             .execute(&QueryKind::WhatIfLeave { player: 9 })
             .unwrap_err();
-        assert_eq!(again, err);
-        assert_eq!(s.whatif_hits(), 1);
+        assert_eq!(again, err, "the cached error must be served verbatim");
+        assert_eq!(s.whatif.lock().len(), 1, "errors are cached, not re-derived");
     }
 
     #[test]
@@ -534,7 +520,6 @@ mod tests {
                 capacity: 1,
             });
         }
-        assert_eq!(s.whatif_misses(), 6);
         let lru = s.whatif.lock();
         assert_eq!(lru.len(), 2, "LRU must stay at its bound");
     }

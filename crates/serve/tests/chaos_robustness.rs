@@ -35,6 +35,7 @@ fn tight_config() -> ServerConfig {
         frame_deadline: Duration::from_millis(400),
         idle_timeout: Duration::from_secs(5),
         chaos_panic: true,
+        ..ServerConfig::default()
     }
 }
 
@@ -241,6 +242,11 @@ fn connection_cap_sheds_with_busy() {
     let (mut r1, mut s1) = connect(&server);
     let ok = ask(&mut r1, &mut s1, "{\"id\":1,\"kind\":\"health\"}");
     assert!(ok.contains("\"kind\":\"health\""), "{ok}");
+    // The stats payload sources shed counts from the process-global
+    // metric registry, which earlier tests in this binary also fed;
+    // assert on the delta across the shed, not the absolute value.
+    let before = ask(&mut r1, &mut s1, "{\"id\":10,\"kind\":\"stats\"}");
+    let shed_before = chaos::json_u64_field(&before, "shed").expect("shed in stats");
     let (_r2, _s2) = connect(&server);
 
     // Third connection: over the cap, must get BUSY then EOF without
@@ -258,7 +264,8 @@ fn connection_cap_sheds_with_busy() {
     );
 
     let stats = ask(&mut r1, &mut s1, "{\"id\":2,\"kind\":\"stats\"}");
-    assert_eq!(chaos::json_u64_field(&stats, "shed"), Some(1), "{stats}");
+    let shed_after = chaos::json_u64_field(&stats, "shed").expect("shed in stats");
+    assert_eq!(shed_after - shed_before, 1, "{stats}");
     assert_eq!(chaos::json_u64_field(&stats, "max_connections"), Some(2), "{stats}");
 
     let drain = server.shutdown();

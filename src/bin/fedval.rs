@@ -256,12 +256,18 @@ fn run() -> Result<(), String> {
     let outcome = execute(&opts);
 
     // Disable and flush before aggregating so the trace file is complete
-    // and the recording contains every span-end.
-    if opts.trace.is_some() || opts.metrics {
+    // and the recording contains every span-end. The metric fold is read
+    // first: shutdown dumps counter/gauge totals into the record stream
+    // for trace files, but the report sources metrics from the shards.
+    let fold = (opts.trace.is_some() || opts.metrics).then(fedval_obs::metrics_fold);
+    if fold.is_some() {
         fedval_obs::shutdown();
     }
-    if let Some(recording) = recording {
-        print!("{}", RunReport::from_records(&recording.records()).render());
+    if let (Some(recording), Some(fold)) = (recording, fold) {
+        print!(
+            "{}",
+            RunReport::from_parts(&fold, &recording.records()).render()
+        );
     }
     outcome
 }
