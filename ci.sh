@@ -2,7 +2,8 @@
 # Tier-1 gate + panic-discipline lint + fedval-lint static analysis.
 #
 #   ./ci.sh            build, test, clippy, bench --check, sweep
-#                      invariance, serve smoke, fedval-lint
+#                      invariance, serve smoke, sampled-Shapley smoke,
+#                      fedchaos, fedval-lint
 #
 # The clippy stage enforces the no-panic rule on every crate's non-test
 # lib code: unwrap()/expect() are denied workspace-wide (tests are exempt —
@@ -124,9 +125,60 @@ if ! grep -q "protocol_errors=0" "$smoke_tmp/serve.log"; then
     exit 1
 fi
 
+echo "== sampled Shapley (n<=16 validation + deterministic n=200 serve smoke)"
+# Release-mode re-run of the estimator-vs-exact validation suite: the
+# sampled phi must sit within its own certified CI of the 2^n solver on
+# games small enough to enumerate (DESIGN.md §14).
+cargo test -q -p fedval-coalition --release approx > /dev/null
+approx_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${approx_tmp:-}"' EXIT
+# A 200-authority synthetic federation is far past every exact cap; the
+# daemon must answer shapley queries via the sampled path, and fedload's
+# canonical-bytes check proves every response in the run is
+# byte-identical (seeded estimator, thread-count invariant).
+./target/release/fedval-serve --addr 127.0.0.1:0 --synthetic 200:7 \
+    --approx-samples 32 --threads 2 > "$approx_tmp/serve.log" 2>&1 &
+approx_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$approx_tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci.sh: fedval-serve --synthetic 200 did not come up; log:"
+    cat "$approx_tmp/serve.log"
+    kill "$approx_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/fedload --addr "$addr" --connections 2 --requests 50 \
+        --kind shapley --seed 7 --shutdown > "$approx_tmp/load.json"; then
+    echo ""
+    echo "ci.sh: fedload failed against the n=200 sampled-Shapley daemon —"
+    echo "either a request errored or two shapley responses differed byte"
+    echo "for byte (the seeded estimator must be deterministic)."
+    cat "$approx_tmp/load.json"
+    kill "$approx_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q '"mismatches": 0' "$approx_tmp/load.json" \
+   || ! grep -q '"protocol_errors": 0' "$approx_tmp/load.json"; then
+    echo ""
+    echo "ci.sh: n=200 shapley responses were not byte-identical across the run:"
+    cat "$approx_tmp/load.json"
+    kill "$approx_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$approx_pid"; then
+    echo ""
+    echo "ci.sh: fedval-serve --synthetic 200 exited nonzero."
+    cat "$approx_tmp/serve.log"
+    exit 1
+fi
+
 echo "== fedchaos smoke (seeded chaos campaign vs hardened daemon)"
 chaos_tmp=$(mktemp -d)
-trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${chaos_tmp:-}"' EXIT
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${approx_tmp:-}" "${chaos_tmp:-}"' EXIT
 ./target/release/fedval-serve --addr 127.0.0.1:0 --warm --chaos-harness \
     --max-connections 24 --io-timeout-ms 500 --frame-deadline-ms 1000 \
     --idle-timeout-ms 5000 > "$chaos_tmp/serve.log" 2>&1 &

@@ -63,8 +63,12 @@ pub fn try_balancedness<G: CoalitionalGame>(game: &G) -> Result<Balancedness, Ga
     if n == 0 {
         return Err(GameError::NoPlayers);
     }
-    if n > 16 {
-        return Err(GameError::TooManyPlayers { n, max: 16 });
+    if n > crate::core_solution::LEAST_CORE_MAX_PLAYERS {
+        return Err(GameError::TooManyPlayers {
+            n,
+            max: crate::core_solution::LEAST_CORE_MAX_PLAYERS,
+            solver: "balancedness",
+        });
     }
 
     let grand = Coalition::grand(n);

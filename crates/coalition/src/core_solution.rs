@@ -71,20 +71,31 @@ pub fn least_core<G: CoalitionalGame>(game: &G) -> LeastCore {
     }
 }
 
+/// Largest player count the least-core (and balancedness) LP formulations
+/// enumerate: the LP has `2^n − 2` rows, so 16 players already means 65534
+/// constraints. Above this cap use the sampled Shapley estimators
+/// ([`crate::shapley_auto`]) — core membership has no sampled analogue here.
+pub const LEAST_CORE_MAX_PLAYERS: usize = 16;
+
 /// Solves the least-core LP, reporting failures as [`GameError`] instead of
 /// panicking — the entry point for degraded-mode pipelines.
 ///
 /// # Errors
 /// [`GameError::NoPlayers`] for an empty game, [`GameError::TooManyPlayers`]
-/// above 16 players (`2^n` LP rows), or [`GameError::MalformedLp`] when the
-/// characteristic function produces NaN or infinite values.
+/// above [`LEAST_CORE_MAX_PLAYERS`] players (`2^n` LP rows), or
+/// [`GameError::MalformedLp`] when the characteristic function produces NaN
+/// or infinite values.
 pub fn try_least_core<G: CoalitionalGame>(game: &G) -> Result<LeastCore, GameError> {
     let n = game.n_players();
     if n == 0 {
         return Err(GameError::NoPlayers);
     }
-    if n > 16 {
-        return Err(GameError::TooManyPlayers { n, max: 16 });
+    if n > LEAST_CORE_MAX_PLAYERS {
+        return Err(GameError::TooManyPlayers {
+            n,
+            max: LEAST_CORE_MAX_PLAYERS,
+            solver: "least_core",
+        });
     }
 
     if n == 1 {

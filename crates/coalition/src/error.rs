@@ -21,11 +21,46 @@ pub enum GameError {
     /// The game has no players.
     NoPlayers,
     /// The player count exceeds what the algorithm can enumerate.
+    ///
+    /// Every exact solver names its own documented cap (all of them are
+    /// re-exported from the crate root so callers can compare against the
+    /// same constant the solver enforces):
+    ///
+    /// | solver | cap | why |
+    /// |---|---|---|
+    /// | `least_core` / `balancedness` | [`LEAST_CORE_MAX_PLAYERS`](crate::LEAST_CORE_MAX_PLAYERS) = 16 | `2^n − 2` LP rows/columns |
+    /// | `nucleolus` | [`NUCLEOLUS_MAX_PLAYERS`](crate::NUCLEOLUS_MAX_PLAYERS) = 12 | cascade of `2^n`-row LPs |
+    /// | `TableGame` | [`TableGame::MAX_PLAYERS`](crate::TableGame::MAX_PLAYERS) = 25 | dense `2^n · f64` table |
+    /// | exact Shapley auto-selection | [`EXACT_SHAPLEY_MAX_PLAYERS`](crate::EXACT_SHAPLEY_MAX_PLAYERS) = 16 | `n · 2^(n−1)` evaluations |
+    ///
+    /// Shapley values have no such wall: the sampled estimators
+    /// ([`shapley_auto`](crate::shapley_auto) and friends in
+    /// [`approx`](crate::approx)) answer with certified confidence
+    /// intervals at any `n`.
     TooManyPlayers {
         /// Players in the game.
         n: usize,
         /// Maximum the algorithm supports.
         max: usize,
+        /// Which solver's cap was hit (e.g. `"nucleolus"`).
+        solver: &'static str,
+    },
+    /// A sampling estimator was asked for zero samples.
+    NoSamples {
+        /// Which estimator rejected the budget.
+        solver: &'static str,
+    },
+    /// A player index is not in `0..n`.
+    PlayerOutOfRange {
+        /// The offending index.
+        player: usize,
+        /// Players in the game.
+        n: usize,
+    },
+    /// A confidence level outside the open interval (0, 1) was requested.
+    BadConfidence {
+        /// The rejected level.
+        value: f64,
     },
     /// An internal LP was rejected as malformed — in practice this means the
     /// characteristic function produced NaN or infinite values.
@@ -54,8 +89,25 @@ impl fmt::Display for GameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GameError::NoPlayers => write!(f, "game has no players"),
-            GameError::TooManyPlayers { n, max } => {
-                write!(f, "game has {n} players but the algorithm supports at most {max}")
+            GameError::TooManyPlayers { n, max, solver } => {
+                write!(
+                    f,
+                    "{solver}: game has {n} players but exact enumeration supports at most \
+                     {max}; use the sampled Shapley estimator (shapley_auto / --approx) for \
+                     larger federations"
+                )
+            }
+            GameError::NoSamples { solver } => {
+                write!(f, "{solver}: sample budget must be at least 1")
+            }
+            GameError::PlayerOutOfRange { player, n } => {
+                write!(f, "player {player} out of range for a {n}-player game")
+            }
+            GameError::BadConfidence { value } => {
+                write!(
+                    f,
+                    "confidence level must lie strictly between 0 and 1, got {value}"
+                )
             }
             GameError::MalformedLp { context, source } => {
                 write!(f, "{context}: internal LP malformed: {source}")

@@ -71,6 +71,7 @@ impl TableGame {
             return Err(GameError::TooManyPlayers {
                 n,
                 max: TableGame::MAX_PLAYERS,
+                solver: "table_game",
             });
         }
         let values = Coalition::all(n)
@@ -438,9 +439,10 @@ mod tests {
         let err = TableGame::try_from_fn(TableGame::MAX_PLAYERS + 1, |c| c.len() as f64)
             .expect_err("26 players must not materialize");
         match &err {
-            GameError::TooManyPlayers { n, max } => {
+            GameError::TooManyPlayers { n, max, solver } => {
                 assert_eq!(*n, TableGame::MAX_PLAYERS + 1);
                 assert_eq!(*max, TableGame::MAX_PLAYERS);
+                assert_eq!(*solver, "table_game");
             }
             other => panic!("wrong error variant: {other:?}"),
         }

@@ -30,6 +30,7 @@
 //! assert!((shares[1] - 2.0 / 13.0).abs() < 1e-12);
 //! ```
 
+pub mod approx;
 mod balancedness;
 mod banzhaf;
 mod coalition;
@@ -48,12 +49,17 @@ mod stratified;
 mod tau;
 mod weighted;
 
+pub use approx::{
+    hoeffding_epsilon, hoeffding_samples, shapley_auto, shapley_auto_wide, try_approx_shapley,
+    try_approx_shapley_wide, z_for_confidence, ApproxConfig, ApproxMethod, ApproxShapley,
+    AsWide, ShapleyEstimate, WideGame, EXACT_SHAPLEY_MAX_PLAYERS, MAX_SAMPLED_PLAYERS,
+};
 pub use balancedness::{balancedness, is_balanced, try_balancedness, Balancedness};
-pub use banzhaf::{banzhaf, banzhaf_normalized, banzhaf_player};
+pub use banzhaf::{banzhaf, banzhaf_normalized, banzhaf_player, try_banzhaf_player};
 pub use coalition::{Coalition, PlayerId, Players, Subsets, MAX_PLAYERS};
 pub use core_solution::{
     excess, is_core_nonempty, is_in_core, is_in_epsilon_core, least_core, try_least_core,
-    LeastCore, CORE_TOL,
+    LeastCore, CORE_TOL, LEAST_CORE_MAX_PLAYERS,
 };
 pub use diagnostics::{CoalitionDiagnostics, GameDiagnostics, ValueSource};
 pub use error::{CoalitionError, GameError};
@@ -62,15 +68,15 @@ pub use dividends::{
 };
 pub use game::{check_zero_normalized_empty, CachedGame, CoalitionalGame, FnGame, TableGame};
 pub use interaction::{interaction_matrix, strongest_complements};
-pub use nucleolus::{nucleolus, try_nucleolus};
+pub use nucleolus::{nucleolus, try_nucleolus, NUCLEOLUS_MAX_PLAYERS};
 pub use owen::{owen_value, owen_value_normalized, quotient_game};
 pub use properties::{
     analyze, is_convex, is_essential, is_monotone, is_superadditive, GameProperties,
 };
 pub use shapley::{
     shapley, shapley_monte_carlo, shapley_normalized, shapley_parallel, shapley_player,
-    MonteCarloShapley,
+    try_shapley_monte_carlo, try_shapley_player, MonteCarloShapley,
 };
-pub use stratified::{shapley_stratified, StratifiedShapley};
+pub use stratified::{shapley_stratified, try_shapley_stratified, StratifiedShapley};
 pub use tau::{minimal_rights, tau_value, utopia_payoffs};
 pub use weighted::{weighted_shapley, weighted_shapley_normalized};

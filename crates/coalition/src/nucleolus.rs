@@ -26,6 +26,14 @@ use fedval_simplex::{LinearProgram, Objective, Relation, Status};
 /// Numerical tolerance for tightness decisions between LP stages.
 const TOL: f64 = 1e-7;
 
+/// Largest player count the nucleolus LP cascade enumerates: each of up to
+/// `n` stages solves an LP over the `2^n − 2` proper coalitions, so the cap
+/// sits lower than the single-shot least-core's
+/// [`LEAST_CORE_MAX_PLAYERS`](crate::core_solution::LEAST_CORE_MAX_PLAYERS).
+/// Above it, use the sampled Shapley estimators ([`crate::shapley_auto`])
+/// for sharing weights.
+pub const NUCLEOLUS_MAX_PLAYERS: usize = 12;
+
 /// Computes the nucleolus allocation.
 ///
 /// # Panics
@@ -46,16 +54,20 @@ pub fn nucleolus<G: CoalitionalGame>(game: &G) -> Vec<f64> {
 ///
 /// # Errors
 /// [`GameError::NoPlayers`] for an empty game, [`GameError::TooManyPlayers`]
-/// above 12 players (the LP cascade becomes impractical), or
-/// [`GameError::MalformedLp`] when the characteristic function produces NaN
-/// or infinite values.
+/// above [`NUCLEOLUS_MAX_PLAYERS`] players (the LP cascade becomes
+/// impractical), or [`GameError::MalformedLp`] when the characteristic
+/// function produces NaN or infinite values.
 pub fn try_nucleolus<G: CoalitionalGame>(game: &G) -> Result<Vec<f64>, GameError> {
     let n = game.n_players();
     if n == 0 {
         return Err(GameError::NoPlayers);
     }
-    if n > 12 {
-        return Err(GameError::TooManyPlayers { n, max: 12 });
+    if n > NUCLEOLUS_MAX_PLAYERS {
+        return Err(GameError::TooManyPlayers {
+            n,
+            max: NUCLEOLUS_MAX_PLAYERS,
+            solver: "nucleolus",
+        });
     }
     if n == 1 {
         return Ok(vec![game.grand_value()]);
@@ -332,7 +344,11 @@ mod tests {
         let g = FnGame::new(13, |c: Coalition| c.len() as f64);
         assert_eq!(
             try_nucleolus(&g).unwrap_err(),
-            GameError::TooManyPlayers { n: 13, max: 12 }
+            GameError::TooManyPlayers {
+                n: 13,
+                max: 12,
+                solver: "nucleolus",
+            }
         );
     }
 

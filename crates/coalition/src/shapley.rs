@@ -12,6 +12,7 @@
 //! profit-sharing weights `sᵢ`.
 
 use crate::coalition::{Coalition, PlayerId};
+use crate::error::GameError;
 use crate::game::CoalitionalGame;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -22,16 +23,37 @@ use rand::SeedableRng;
 /// Runs in `O(2^(n−1))` evaluations of the characteristic function. The
 /// combinatorial weight `|S|!·(n−1−|S|)!/n!` is computed as
 /// `1 / (n · C(n−1, |S|))`, which stays in `f64` range for any `n ≤ 64`.
+///
+/// # Panics
+/// Panics when `i ≥ n`; [`try_shapley_player`] reports that as a typed
+/// error instead.
 pub fn shapley_player<G: CoalitionalGame>(game: &G, i: PlayerId) -> f64 {
+    match try_shapley_player(game, i) {
+        Ok(phi) => phi,
+        // lint: allow(no-panic-path) — documented legacy wrapper; fallible
+        // callers use try_shapley_player.
+        Err(e) => panic!("shapley_player: {e}"),
+    }
+}
+
+/// Exact Shapley value of a single player, reporting a bad player index as
+/// [`GameError::PlayerOutOfRange`] instead of panicking.
+///
+/// # Errors
+/// [`GameError::PlayerOutOfRange`] when `i ≥ n` (including the `n = 0`
+/// case, where every index is out of range).
+pub fn try_shapley_player<G: CoalitionalGame>(game: &G, i: PlayerId) -> Result<f64, GameError> {
     let n = game.n_players();
-    assert!(i < n, "player out of range");
+    if i >= n {
+        return Err(GameError::PlayerOutOfRange { player: i, n });
+    }
     let weights = subset_weights(n);
     let others = Coalition::grand(n).without(i);
     let mut phi = 0.0;
     for s in others.subsets() {
         phi += weights[s.len()] * game.marginal(i, s);
     }
-    phi
+    Ok(phi)
 }
 
 /// Exact Shapley values of all players (sequential).
@@ -99,13 +121,44 @@ pub struct MonteCarloShapley {
 /// so the total cost is `samples · n` — this is the estimator to use when
 /// `2^n` is out of reach. The estimate is unbiased; `std_error` is the
 /// per-player sample standard deviation divided by `√samples`.
+///
+/// # Panics
+/// Panics on an empty game or a zero sample budget;
+/// [`try_shapley_monte_carlo`] reports both as typed errors instead.
 pub fn shapley_monte_carlo<G: CoalitionalGame>(
     game: &G,
     samples: usize,
     seed: u64,
 ) -> MonteCarloShapley {
+    match try_shapley_monte_carlo(game, samples, seed) {
+        Ok(mc) => mc,
+        // lint: allow(no-panic-path) — documented legacy wrapper; fallible
+        // callers use try_shapley_monte_carlo.
+        Err(e) => panic!("shapley_monte_carlo: {e}"),
+    }
+}
+
+/// Monte-Carlo Shapley estimator with typed input validation — the entry
+/// point for request-driven callers (a malformed serve request must never
+/// panic a worker).
+///
+/// # Errors
+/// [`GameError::NoPlayers`] for an empty game, [`GameError::NoSamples`]
+/// when `samples == 0`.
+pub fn try_shapley_monte_carlo<G: CoalitionalGame>(
+    game: &G,
+    samples: usize,
+    seed: u64,
+) -> Result<MonteCarloShapley, GameError> {
     let n = game.n_players();
-    assert!(samples > 0, "need at least one sample");
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if samples == 0 {
+        return Err(GameError::NoSamples {
+            solver: "shapley_monte_carlo",
+        });
+    }
     let _span = fedval_obs::span_with("coalition.shapley.monte_carlo", || {
         format!("n={n} samples={samples} seed={seed}")
     });
@@ -138,11 +191,11 @@ pub fn shapley_monte_carlo<G: CoalitionalGame>(
             }
         })
         .collect();
-    MonteCarloShapley {
+    Ok(MonteCarloShapley {
         phi,
         std_error,
         samples,
-    }
+    })
 }
 
 /// Normalized Shapley values ϕ̂ᵢ = ϕᵢ / V(N) (eq. 5 of the paper).

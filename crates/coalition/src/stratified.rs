@@ -17,6 +17,7 @@
 //! error is reported per stratum so callers can refine adaptively.
 
 use crate::coalition::{Coalition, PlayerId};
+use crate::error::GameError;
 use crate::game::CoalitionalGame;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -36,15 +37,42 @@ pub struct StratifiedShapley {
 /// Runs the stratified estimator.
 ///
 /// # Panics
-/// Panics if `samples_per_stratum == 0` or the game has no players.
+/// Panics if `samples_per_stratum == 0` or the game has no players;
+/// [`try_shapley_stratified`] reports both as typed errors instead.
 pub fn shapley_stratified<G: CoalitionalGame>(
     game: &G,
     samples_per_stratum: usize,
     seed: u64,
 ) -> StratifiedShapley {
+    match try_shapley_stratified(game, samples_per_stratum, seed) {
+        Ok(est) => est,
+        // lint: allow(no-panic-path) — documented legacy wrapper; fallible
+        // callers use try_shapley_stratified.
+        Err(e) => panic!("shapley_stratified: {e}"),
+    }
+}
+
+/// Runs the stratified estimator with typed input validation — the entry
+/// point for request-driven callers (a malformed serve request must never
+/// panic a worker).
+///
+/// # Errors
+/// [`GameError::NoPlayers`] for an empty game, [`GameError::NoSamples`]
+/// when `samples_per_stratum == 0`.
+pub fn try_shapley_stratified<G: CoalitionalGame>(
+    game: &G,
+    samples_per_stratum: usize,
+    seed: u64,
+) -> Result<StratifiedShapley, GameError> {
     let n = game.n_players();
-    assert!(n >= 1, "need at least one player");
-    assert!(samples_per_stratum >= 1, "need at least one sample");
+    if n == 0 {
+        return Err(GameError::NoPlayers);
+    }
+    if samples_per_stratum == 0 {
+        return Err(GameError::NoSamples {
+            solver: "shapley_stratified",
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut phi = vec![0.0; n];
@@ -75,11 +103,11 @@ pub fn shapley_stratified<G: CoalitionalGame>(
         }
     }
 
-    StratifiedShapley {
+    Ok(StratifiedShapley {
         phi,
         std_error: variance.into_iter().map(f64::sqrt).collect(),
         samples_per_stratum,
-    }
+    })
 }
 
 #[cfg(test)]

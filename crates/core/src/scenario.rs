@@ -6,8 +6,9 @@ use crate::facility::Facility;
 use crate::sharing;
 use crate::value::FederationGame;
 use fedval_coalition::{
-    analyze, is_core_nonempty, least_core, nucleolus, Coalition, CoalitionError, CoalitionalGame,
-    GameProperties, TableGame,
+    analyze, is_core_nonempty, least_core, nucleolus, shapley_auto, shapley_auto_wide, Coalition,
+    CoalitionError, CoalitionalGame, GameProperties, ApproxConfig, ShapleyEstimate, TableGame,
+    EXACT_SHAPLEY_MAX_PLAYERS,
 };
 
 /// A measured game's player count disagrees with the facility list.
@@ -47,6 +48,7 @@ pub struct FederationScenario {
     demand: Demand,
     cost: CostModel,
     threads: usize,
+    approx: ApproxConfig,
     table: std::cell::OnceCell<TableGame>,
 }
 
@@ -58,6 +60,7 @@ impl FederationScenario {
             demand,
             cost: CostModel::paper_default(),
             threads: 1,
+            approx: ApproxConfig::default(),
             table: std::cell::OnceCell::new(),
         }
     }
@@ -79,6 +82,19 @@ impl FederationScenario {
     /// The configured Shapley worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the sampled-Shapley budget, seed, confidence level, and the
+    /// `--approx` force flag (builder style). The thread count still comes
+    /// from [`with_threads`](FederationScenario::with_threads).
+    pub fn with_approx(mut self, approx: ApproxConfig) -> FederationScenario {
+        self.approx = approx;
+        self
+    }
+
+    /// The configured sampled-Shapley parameters.
+    pub fn approx_config(&self) -> &ApproxConfig {
+        &self.approx
     }
 
     /// Builds a scenario around an *externally measured* coalition-value
@@ -125,6 +141,7 @@ impl FederationScenario {
             demand,
             cost: CostModel::paper_default(),
             threads: 1,
+            approx: ApproxConfig::default(),
             table,
         })
     }
@@ -199,6 +216,61 @@ impl FederationScenario {
             sharing::shapley_hat_of_parallel(self.game(), self.threads)
         } else {
             sharing::shapley_hat_of(self.game())
+        }
+    }
+
+    /// Shapley values through the solver-selection layer: exact below
+    /// [`EXACT_SHAPLEY_MAX_PLAYERS`] facilities, the seeded sampled
+    /// estimator (with its confidence-interval certificate) above it — the
+    /// entry point that makes a 200-authority scenario answerable instead
+    /// of a `TooManyPlayers` error.
+    ///
+    /// Uses the measured table when one was supplied
+    /// ([`from_measured`](FederationScenario::from_measured)), the lazily
+    /// cached closed-form table below the cap, and the un-materialized
+    /// wide federation game above it. Sampling parameters come from
+    /// [`with_approx`](FederationScenario::with_approx); results are
+    /// byte-identical per seed at any thread count.
+    ///
+    /// # Errors
+    /// [`CoalitionError::NoPlayers`] / [`CoalitionError::NoSamples`] /
+    /// [`CoalitionError::BadConfidence`] for malformed inputs, and
+    /// [`CoalitionError::TooManyPlayers`] past the sampled path's own
+    /// sanity cap ([`fedval_coalition::MAX_SAMPLED_PLAYERS`]).
+    pub fn shapley_estimate(&self) -> Result<ShapleyEstimate, CoalitionError> {
+        let cfg = ApproxConfig {
+            threads: self.threads,
+            ..self.approx
+        };
+        if let Some(table) = self.table.get() {
+            // Measured scenarios must answer from their table: the
+            // closed-form model does not reproduce measured values.
+            return shapley_auto(table, &cfg);
+        }
+        let n = self.facilities.len();
+        if !cfg.force && n <= EXACT_SHAPLEY_MAX_PLAYERS {
+            return shapley_auto(self.try_game()?, &cfg);
+        }
+        let game = FederationGame::new(&self.facilities, &self.demand);
+        shapley_auto_wide(&game, &cfg)
+    }
+
+    /// Normalized shares from [`shapley_estimate`]
+    /// (ϕ̂ᵢ = ϕᵢ / V(N), eq. 5), exact or sampled.
+    ///
+    /// # Errors
+    /// As [`shapley_estimate`](FederationScenario::shapley_estimate).
+    pub fn shapley_shares_estimated(&self) -> Result<Vec<f64>, CoalitionError> {
+        match self.shapley_estimate()? {
+            ShapleyEstimate::Exact(phi) => {
+                // The exact path always has a table (it just used it).
+                let grand = self.try_game()?.grand_value();
+                if grand.abs() < 1e-12 {
+                    return Ok(vec![0.0; phi.len()]);
+                }
+                Ok(phi.into_iter().map(|v| v / grand).collect())
+            }
+            ShapleyEstimate::Approx(a) => Ok(a.shares()),
         }
     }
 
@@ -324,6 +396,50 @@ mod tests {
         }
         // threads=0 is clamped to 1, not a panic.
         assert_eq!(worked_example().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn shapley_estimate_selects_exact_on_small_scenarios() {
+        let s = worked_example();
+        match s.shapley_estimate().expect("worked example must solve") {
+            ShapleyEstimate::Exact(phi) => {
+                assert!((phi.iter().sum::<f64>() - 1300.0).abs() < 1e-9);
+            }
+            ShapleyEstimate::Approx(_) => panic!("n=3 must select exact"),
+        }
+        let shares = s.shapley_shares_estimated().expect("shares");
+        assert_eq!(shares, s.shapley_shares());
+    }
+
+    #[test]
+    fn shapley_estimate_samples_past_the_exact_cap() {
+        use crate::facility::Facility;
+        // 40 facilities: exact enumeration (2^40) is out of reach, the
+        // estimator must answer with a certificate instead of erroring.
+        let facilities: Vec<Facility> = (0..40u32)
+            .map(|i| Facility::uniform(format!("f{i}"), 16 * i, 4 + (i % 5), 1))
+            .collect();
+        let s = FederationScenario::new(
+            facilities,
+            Demand::one_experiment(ExperimentClass::simple("e", 50.0, 1.0)),
+        )
+        .with_approx(ApproxConfig {
+            samples: 64,
+            seed: 7,
+            ..ApproxConfig::default()
+        })
+        .with_threads(4);
+        let est = s.shapley_estimate().expect("sampled path must answer");
+        let approx = est.as_approx().expect("n=40 must sample");
+        assert_eq!(approx.phi.len(), 40);
+        assert_eq!(approx.samples, 64);
+        assert!(approx.grand_value > 0.0);
+        // Efficiency after normalization.
+        let total: f64 = approx.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        // Deterministic across repeat calls and thread counts.
+        let again = s.shapley_estimate().expect("repeat");
+        assert_eq!(est, again);
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub use incentives::{incentive_curve, marginal_payoffs, peak_marginal, Incentive
 pub use mixture::{
     classify_requests, demand_from_mixture, fitted_policy, Category, MixtureEstimate,
 };
-pub use report::{policy_report, policy_report_measured, PolicyReport};
+pub use report::{
+    policy_report, policy_report_measured, try_policy_report, try_policy_report_measured,
+    PolicyReport,
+};
 pub use scheme::SharingScheme;
 pub use smoothing::{
     max_jump, smoothed_incentive_curve, smoothing_benefit, threshold_smoothed_shares,

@@ -2,7 +2,10 @@
 
 use crate::compare::{compare_schemes, SchemeAssessment};
 use crate::scheme::SharingScheme;
-use fedval_coalition::GameDiagnostics;
+use fedval_coalition::{
+    ApproxShapley, CoalitionError, CoalitionalGame, GameDiagnostics, ShapleyEstimate,
+    NUCLEOLUS_MAX_PLAYERS,
+};
 use fedval_core::FederationScenario;
 use std::fmt::Write as _;
 
@@ -12,13 +15,23 @@ pub struct PolicyReport {
     /// Grand-coalition value `V(N)`.
     pub grand_value: f64,
     /// Whether the core is non-empty (grand coalition stable at all).
+    /// Meaningless when [`structure_known`](PolicyReport::structure_known)
+    /// is false.
     pub core_nonempty: bool,
     /// Structural game properties.
     pub superadditive: bool,
     /// Convexity (⇒ core non-empty, Shapley in core).
     pub convex: bool,
+    /// Whether the structural fields above were actually computed. False
+    /// for federations past the exact-enumeration caps, where the report
+    /// is built from the sampled Shapley estimate instead.
+    pub structure_known: bool,
     /// Per-scheme assessments.
     pub assessments: Vec<SchemeAssessment>,
+    /// The sampled-Shapley certificate (per-player CI, budget, seed) when
+    /// the Shapley column came from the estimator rather than exact
+    /// enumeration; `None` for exact reports.
+    pub approx: Option<ApproxShapley>,
     /// Measurement provenance, when the scenario's game was measured
     /// empirically (fault injection, fallbacks, retries); `None` for
     /// closed-form games.
@@ -41,7 +54,9 @@ pub fn policy_report(scenario: &FederationScenario) -> PolicyReport {
         core_nonempty,
         superadditive: props.superadditive,
         convex: props.convex,
+        structure_known: true,
         assessments,
+        approx: None,
         measurement: None,
     }
 }
@@ -57,6 +72,92 @@ pub fn policy_report_measured(
     let mut report = policy_report(scenario);
     report.measurement = Some(diagnostics);
     report
+}
+
+/// [`policy_report`] behind the solver-selection layer: full exact reports
+/// below the enumeration caps, a degraded sampled-Shapley report above
+/// them (or when `--approx` forces sampling).
+///
+/// The degraded report keeps every column that does not require `2^n`
+/// enumeration — Shapley (sampled, with its confidence-interval
+/// certificate), proportional, consumption, and equal shares plus their
+/// distance-from-π — and marks the rest unknown: `structure_known` is
+/// false, `in_core` is `None`, `max_excess` is NaN, and the nucleolus row
+/// is omitted (its LP is exponential in `n`).
+///
+/// # Errors
+/// Propagates [`CoalitionError`]s from the estimator (malformed sampling
+/// configuration, or more players than even the sampled path supports).
+pub fn try_policy_report(scenario: &FederationScenario) -> Result<PolicyReport, CoalitionError> {
+    let n = scenario.facilities().len();
+    if !scenario.approx_config().force && n <= NUCLEOLUS_MAX_PLAYERS {
+        return Ok(policy_report(scenario));
+    }
+    approx_report(scenario)
+}
+
+/// [`try_policy_report`] with measurement diagnostics attached, the
+/// large-`n`-safe counterpart of [`policy_report_measured`].
+///
+/// # Errors
+/// Same as [`try_policy_report`].
+pub fn try_policy_report_measured(
+    scenario: &FederationScenario,
+    diagnostics: GameDiagnostics,
+) -> Result<PolicyReport, CoalitionError> {
+    let mut report = try_policy_report(scenario)?;
+    report.measurement = Some(diagnostics);
+    Ok(report)
+}
+
+/// The degraded (no-enumeration) report path.
+fn approx_report(scenario: &FederationScenario) -> Result<PolicyReport, CoalitionError> {
+    let _report_span = fedval_obs::span("policy.report.build_approx");
+    let n = scenario.facilities().len();
+    let (shapley_shares, approx, grand_value) = match scenario.shapley_estimate()? {
+        ShapleyEstimate::Exact(phi) => {
+            // Exact selection past the nucleolus cap (13..=16 players):
+            // the table exists, only the enumeration-heavy columns drop.
+            let grand = scenario.try_game()?.grand_value();
+            let shares = if grand.abs() < 1e-12 {
+                vec![0.0; phi.len()]
+            } else {
+                phi.iter().map(|v| v / grand).collect()
+            };
+            (shares, None, grand)
+        }
+        ShapleyEstimate::Approx(a) => (a.shares(), Some(a.clone()), a.grand_value),
+    };
+    let pi = scenario.proportional_shares();
+    let dist = |shares: &[f64]| -> f64 {
+        shares.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum()
+    };
+    let rows: [(&str, Vec<f64>); 4] = [
+        ("shapley", shapley_shares),
+        ("proportional", pi.clone()),
+        ("consumption", scenario.consumption_shares()),
+        ("equal", fedval_core::sharing::normalized(vec![1.0; n])),
+    ];
+    let assessments = rows
+        .into_iter()
+        .map(|(name, shares)| SchemeAssessment {
+            scheme: name.to_string(),
+            distance_from_proportional: dist(&shares),
+            shares,
+            in_core: None,
+            max_excess: f64::NAN,
+        })
+        .collect();
+    Ok(PolicyReport {
+        grand_value,
+        core_nonempty: false,
+        superadditive: false,
+        convex: false,
+        structure_known: false,
+        assessments,
+        approx,
+        measurement: None,
+    })
 }
 
 impl PolicyReport {
@@ -77,14 +178,27 @@ impl PolicyReport {
     }
 
     /// Renders a fixed-width text table.
+    ///
+    /// Approx reports print the scheme rows with `n/a` stability columns,
+    /// elide long share vectors after the first eight entries, and append
+    /// the estimator's certificate line (method, budget, seed, CI).
     pub fn render(&self) -> String {
+        const SHOWN_SHARES: usize = 8;
         let mut out = String::new();
         let _ = writeln!(out, "federation value V(N) = {:.2}", self.grand_value);
-        let _ = writeln!(
-            out,
-            "game: superadditive={} convex={} core_nonempty={}",
-            self.superadditive, self.convex, self.core_nonempty
-        );
+        if self.structure_known {
+            let _ = writeln!(
+                out,
+                "game: superadditive={} convex={} core_nonempty={}",
+                self.superadditive, self.convex, self.core_nonempty
+            );
+        } else {
+            let n = self.assessments.first().map_or(0, |a| a.shares.len());
+            let _ = writeln!(
+                out,
+                "game: structure not enumerated (n={n} players exceeds the exact caps)"
+            );
+        }
         let _ = writeln!(
             out,
             "{:<14} {:>10} {:>12} {:<8} shares",
@@ -96,16 +210,37 @@ impl PolicyReport {
                 Some(false) => "no",
                 None => "n/a",
             };
-            let shares = a
+            let excess = if a.max_excess.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{:.2}", a.max_excess)
+            };
+            let mut shares = a
                 .shares
                 .iter()
+                .take(SHOWN_SHARES)
                 .map(|s| format!("{s:.3}"))
                 .collect::<Vec<_>>()
                 .join(" ");
+            if a.shares.len() > SHOWN_SHARES {
+                let _ = write!(shares, " … +{} more", a.shares.len() - SHOWN_SHARES);
+            }
             let _ = writeln!(
                 out,
-                "{:<14} {:>10.2} {:>12.4} {:<8} [{shares}]",
-                a.scheme, a.max_excess, a.distance_from_proportional, core
+                "{:<14} {:>10} {:>12.4} {:<8} [{shares}]",
+                a.scheme, excess, a.distance_from_proportional, core
+            );
+        }
+        if let Some(a) = &self.approx {
+            let max_ci = a.ci_shares().into_iter().fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "shapley: sampled ({}, {} samples, seed {}); {:.0}% CI half-width ≤ {:.4} of V(N)",
+                a.method.as_str(),
+                a.samples,
+                a.seed,
+                a.confidence * 100.0,
+                max_ci
             );
         }
         if let Some(m) = &self.measurement {
@@ -186,6 +321,101 @@ mod tests {
         // Closed-form reports stay silent about measurement.
         let clean = policy_report(&s);
         assert!(!clean.render().contains("measurement:"));
+    }
+
+    #[test]
+    fn try_report_matches_exact_path_below_the_caps() {
+        let s = scenario(500.0);
+        let r = try_policy_report(&s).expect("small scenario");
+        assert!(r.structure_known);
+        assert!(r.approx.is_none());
+        assert_eq!(r.assessments.len(), 5);
+        assert_eq!(r.render(), policy_report(&s).render());
+    }
+
+    #[test]
+    fn large_federation_reports_with_certificate() {
+        use fedval_coalition::ApproxConfig;
+        use fedval_core::Facility;
+        // 40 facilities: far past every exact cap. Non-overlapping location
+        // blocks, 4–8 locations each, threshold 50 ⇒ position-dependent
+        // marginals.
+        let facilities: Vec<Facility> = (0..40u32)
+            .map(|i| Facility::uniform(format!("f{i}"), 16 * i, 4 + (i % 5), 1))
+            .collect();
+        let s = FederationScenario::new(
+            facilities,
+            Demand::one_experiment(ExperimentClass::simple("e", 50.0, 1.0)),
+        )
+        .with_approx(ApproxConfig {
+            samples: 64,
+            seed: 7,
+            ..ApproxConfig::default()
+        })
+        .with_threads(4);
+        let r = try_policy_report(&s).expect("sampled path");
+        assert!(!r.structure_known);
+        let a = r.approx.as_ref().expect("certificate attached");
+        assert_eq!(a.samples, 64);
+        assert_eq!(a.seed, 7);
+        assert!(r.grand_value > 0.0);
+        // Nucleolus is out of reach; the four enumeration-free schemes stay.
+        assert_eq!(r.assessments.len(), 4);
+        assert!(r.assessments.iter().all(|x| x.scheme != "nucleolus"));
+        assert!(r.assessments.iter().all(|x| x.max_excess.is_nan()));
+        assert!(r.assessments.iter().all(|x| x.in_core.is_none()));
+        let phi: f64 = r.assessments[0].shares.iter().sum();
+        assert!((phi - 1.0).abs() < 1e-9, "normalized shares sum to {phi}");
+        assert_eq!(r.recommended(), "shapley");
+        let text = r.render();
+        assert!(text.contains("structure not enumerated"), "{text}");
+        assert!(text.contains("sampled (permutation, 64 samples, seed 7)"), "{text}");
+        assert!(text.contains("+32 more"), "{text}");
+        assert!(text.contains("n/a"), "{text}");
+        // Determinism: the whole report is a pure function of the config.
+        let again = try_policy_report(&s).expect("sampled path");
+        assert_eq!(again.render(), text);
+    }
+
+    #[test]
+    fn force_flag_routes_small_scenarios_through_the_estimator() {
+        use fedval_coalition::ApproxConfig;
+        let s = scenario(500.0).with_approx(ApproxConfig {
+            samples: 4096,
+            seed: 11,
+            force: true,
+            ..ApproxConfig::default()
+        });
+        let r = try_policy_report(&s).expect("forced approx");
+        assert!(!r.structure_known);
+        let a = r.approx.as_ref().expect("certificate");
+        // The CI must cover the exact normalized values (1/26, 2/13, 21/26).
+        let exact = [1.0 / 26.0, 2.0 / 13.0, 21.0 / 26.0];
+        let shares = &r.assessments[0].shares;
+        let ci = a.ci_shares();
+        for ((s_hat, e), half) in shares.iter().zip(exact).zip(&ci) {
+            assert!(
+                (s_hat - e).abs() <= half + 1e-9,
+                "|{s_hat} - {e}| > {half}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_variant_attaches_diagnostics_on_the_approx_path() {
+        use fedval_coalition::{ApproxConfig, Coalition, CoalitionDiagnostics};
+        let s = scenario(500.0).with_approx(ApproxConfig {
+            force: true,
+            ..ApproxConfig::default()
+        });
+        let diags = GameDiagnostics {
+            per_coalition: (0..8u64)
+                .map(|m| CoalitionDiagnostics::clean(Coalition(m)))
+                .collect(),
+        };
+        let r = try_policy_report_measured(&s, diags).expect("forced approx");
+        assert!(r.measurement.is_some());
+        assert!(r.render().contains("measurement:"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! real port when `:0` was requested — scripts parse this line), and a
 //! drain summary when it exits. Exit code 0 means a clean drain.
 
+use fedval_coalition::{ApproxConfig, ApproxMethod, MAX_SAMPLED_PLAYERS};
 use fedval_serve::state::ScenarioSpec;
 use fedval_serve::{Server, ServerConfig, ServeState};
 use std::io::Write;
@@ -36,6 +37,7 @@ struct Options {
     whatif_cache: usize,
     slow_trace_ms: u64,
     spec: ScenarioSpec,
+    approx: ApproxConfig,
     trace: Option<String>,
 }
 
@@ -74,7 +76,20 @@ fn usage() -> &'static str {
        --capacities R1,R2,...   capacity per location   (default 1,1,...)\n\
        --threshold l            diversity threshold     (default 500)\n\
        --shape d                utility exponent        (default 1)\n\
-       --volume K               experiments; 'fill' for capacity-filling\n"
+       --volume K               experiments; 'fill' for capacity-filling\n\
+       --synthetic N[:SEED]     serve the seeded large-n synthetic federation\n\
+                                (fedval-testbed generator; overrides the\n\
+                                scenario flags above; default seed 42)\n\
+     \n\
+     sampled-Shapley options (past 16 facilities shapley and what-if\n\
+     queries answer from the seeded estimator with confidence intervals):\n\
+       --approx                 force the sampled estimator even below the\n\
+                                exact cap\n\
+       --approx-samples N       sampling budget          (default 256)\n\
+       --approx-seed S          RNG seed; same seed, same bytes (default 42)\n\
+       --approx-method M        'permutation' or 'stratified'\n\
+                                (default permutation)\n\
+       --confidence C           CI confidence level in (0,1) (default 0.95)\n"
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -92,6 +107,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         whatif_cache: 64,
         slow_trace_ms: 250,
         spec: ScenarioSpec::paper_4_1(),
+        approx: ApproxConfig::default(),
         trace: None,
     };
     opts.spec.capacities = Vec::new(); // re-defaulted below to match --locations
@@ -103,6 +119,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         }
         if flag == "--chaos-harness" {
             opts.chaos_harness = true;
+            continue;
+        }
+        if flag == "--approx" {
+            opts.approx.force = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {
@@ -192,12 +212,60 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     Some(value.parse().map_err(|e| format!("--volume: {e}"))?)
                 };
             }
+            "--synthetic" => {
+                let (n, seed) = match value.split_once(':') {
+                    Some((n, seed)) => (
+                        n.parse::<usize>().map_err(|e| format!("--synthetic: {e}"))?,
+                        seed.parse::<u64>().map_err(|e| format!("--synthetic: {e}"))?,
+                    ),
+                    None => (
+                        value.parse::<usize>().map_err(|e| format!("--synthetic: {e}"))?,
+                        42,
+                    ),
+                };
+                if n == 0 || n > MAX_SAMPLED_PLAYERS {
+                    return Err(format!(
+                        "--synthetic: need between 1 and {MAX_SAMPLED_PLAYERS} authorities"
+                    ));
+                }
+                let (draws, threshold) = fedval_testbed::synthetic_profile(n, seed);
+                opts.spec.locations = draws.iter().map(|&(l, _)| l).collect();
+                opts.spec.capacities = draws.iter().map(|&(_, r)| r).collect();
+                opts.spec.threshold = threshold;
+                opts.spec.shape = 1.0;
+                opts.spec.volume = Some(1);
+            }
+            "--approx-samples" => {
+                opts.approx.samples = value
+                    .parse()
+                    .map_err(|e| format!("--approx-samples: {e}"))?;
+                if opts.approx.samples == 0 {
+                    return Err("--approx-samples must be at least 1".to_string());
+                }
+            }
+            "--approx-seed" => {
+                opts.approx.seed = value.parse().map_err(|e| format!("--approx-seed: {e}"))?;
+            }
+            "--approx-method" => {
+                opts.approx.method = ApproxMethod::parse(value).ok_or_else(|| {
+                    format!("--approx-method: '{value}' is not 'permutation' or 'stratified'")
+                })?;
+            }
+            "--confidence" => {
+                opts.approx.confidence =
+                    value.parse().map_err(|e| format!("--confidence: {e}"))?;
+                if !(opts.approx.confidence > 0.0 && opts.approx.confidence < 1.0) {
+                    return Err("--confidence must be strictly between 0 and 1".to_string());
+                }
+            }
             "--trace" => opts.trace = Some(value.clone()),
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
     }
-    if opts.spec.locations.is_empty() || opts.spec.locations.len() > 12 {
-        return Err("need between 1 and 12 facilities".to_string());
+    if opts.spec.locations.is_empty() || opts.spec.locations.len() > MAX_SAMPLED_PLAYERS {
+        return Err(format!(
+            "need between 1 and {MAX_SAMPLED_PLAYERS} facilities"
+        ));
     }
     if opts.spec.capacities.is_empty() {
         opts.spec.capacities = vec![1; opts.spec.locations.len()];
@@ -218,7 +286,11 @@ fn run() -> Result<(), String> {
         fedval_obs::install(std::sync::Arc::new(sink));
     }
 
-    let state = ServeState::new(opts.spec.clone(), opts.whatif_cache);
+    let approx = ApproxConfig {
+        threads: opts.threads,
+        ..opts.approx
+    };
+    let state = ServeState::new(opts.spec.clone(), opts.whatif_cache).with_approx(approx);
     if opts.warm {
         let report = state.warm(opts.threads);
         println!(
@@ -385,5 +457,56 @@ mod tests {
         assert!(parse(&args(&["--capacities", "1,2"])).is_err());
         assert!(parse(&args(&["--frobnicate", "1"])).is_err());
         assert!(parse(&args(&["--addr"])).is_err());
+        assert!(parse(&args(&["--approx-samples", "0"])).is_err());
+        assert!(parse(&args(&["--approx-method", "magic"])).is_err());
+        assert!(parse(&args(&["--confidence", "1.5"])).is_err());
+        assert!(parse(&args(&["--confidence", "0"])).is_err());
+        assert!(parse(&args(&["--synthetic", "0"])).is_err());
+        assert!(parse(&args(&["--synthetic", "513"])).is_err());
+        assert!(parse(&args(&["--synthetic", "8:x"])).is_err());
+    }
+
+    #[test]
+    fn parses_approx_flags() {
+        let opts = parse(&args(&[
+            "--approx",
+            "--approx-samples",
+            "128",
+            "--approx-seed",
+            "9",
+            "--approx-method",
+            "stratified",
+            "--confidence",
+            "0.99",
+        ]))
+        .unwrap();
+        assert!(opts.approx.force);
+        assert_eq!(opts.approx.samples, 128);
+        assert_eq!(opts.approx.seed, 9);
+        assert_eq!(opts.approx.method, ApproxMethod::Stratified);
+        assert!((opts.approx.confidence - 0.99).abs() < 1e-12);
+        // Approx is opt-in; defaults match the library's.
+        let plain = parse(&args(&[])).unwrap();
+        assert!(!plain.approx.force);
+        assert_eq!(plain.approx.samples, 256);
+    }
+
+    #[test]
+    fn synthetic_builds_the_seeded_large_federation() {
+        let opts = parse(&args(&["--synthetic", "200:7"])).unwrap();
+        assert_eq!(opts.spec.n(), 200);
+        assert_eq!(opts.spec.volume, Some(1));
+        // Deterministic: the same n:seed yields the same spec.
+        let again = parse(&args(&["--synthetic", "200:7"])).unwrap();
+        assert_eq!(opts.spec, again.spec);
+        // A different seed reshapes it; the default seed is 42.
+        let other = parse(&args(&["--synthetic", "200:8"])).unwrap();
+        assert_ne!(opts.spec, other.spec);
+        let default_seed = parse(&args(&["--synthetic", "200"])).unwrap();
+        let explicit = parse(&args(&["--synthetic", "200:42"])).unwrap();
+        assert_eq!(default_seed.spec, explicit.spec);
+        // Large plain --locations lists are accepted now too.
+        let many: Vec<&str> = vec!["4"; 100];
+        assert!(parse(&args(&["--locations", &many.join(",")])).is_ok());
     }
 }

@@ -503,11 +503,15 @@ impl Parser<'_> {
                     })
                 }
             }
-            // Defensive cap: a coalition can never exceed 64 players, so
-            // any longer array is garbage regardless of frame size.
-            if out.len() > 64 {
+            // Defensive cap: no federation exceeds the sampled-path
+            // player bound, so any longer array is garbage regardless
+            // of frame size.
+            if out.len() > fedval_coalition::MAX_SAMPLED_PLAYERS {
                 return Err(ProtocolError::Malformed {
-                    detail: "array longer than 64 entries".to_string(),
+                    detail: format!(
+                        "array longer than {} entries",
+                        fedval_coalition::MAX_SAMPLED_PLAYERS
+                    ),
                 });
             }
             self.skip_ws();
@@ -761,12 +765,17 @@ mod tests {
 
     #[test]
     fn long_arrays_are_capped() {
-        let ids: Vec<String> = (0..80).map(|i| i.to_string()).collect();
+        let over = fedval_coalition::MAX_SAMPLED_PLAYERS + 16;
+        let ids: Vec<String> = (0..over).map(|i| i.to_string()).collect();
         let frame = format!("{{\"kind\":\"coalition-value\",\"coalition\":[{}]}}", ids.join(","));
         assert!(matches!(
             parse_request(frame.as_bytes()),
             Err(ProtocolError::Malformed { .. })
         ));
+        // Arrays sized for wide (sampled-path) federations parse fine.
+        let ids: Vec<String> = (0..80).map(|i| i.to_string()).collect();
+        let frame = format!("{{\"kind\":\"coalition-value\",\"coalition\":[{}]}}", ids.join(","));
+        assert!(parse_request(frame.as_bytes()).is_ok());
     }
 
     #[test]

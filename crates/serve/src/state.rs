@@ -20,7 +20,12 @@
 
 use crate::lru::Lru;
 use crate::protocol::{render_f64_array, QueryError, QueryKind};
-use fedval_coalition::{nucleolus, CachedGame, Coalition, CoalitionalGame, TableGame};
+use fedval_coalition::approx::WideGame;
+use fedval_coalition::{
+    nucleolus, try_approx_shapley_wide, ApproxConfig, ApproxShapley, CachedGame, Coalition,
+    CoalitionalGame, TableGame, EXACT_SHAPLEY_MAX_PLAYERS, MAX_PLAYERS as BITSET_MAX_PLAYERS,
+    MAX_SAMPLED_PLAYERS, NUCLEOLUS_MAX_PLAYERS,
+};
 use fedval_core::sharing::shapley_hat_of;
 use fedval_core::{Demand, ExperimentClass, Facility, FederationGame, Volume};
 use fedval_obs::OrderedMutex;
@@ -89,16 +94,19 @@ impl ScenarioSpec {
 
     /// The spec with one facility appended (what-if-join).
     ///
+    /// Joins past the exact-enumeration caps are fine — the solve falls
+    /// through to the sampled Shapley estimator — so the only bound is
+    /// the estimator's own [`MAX_SAMPLED_PLAYERS`].
+    ///
     /// # Errors
-    /// `BAD_REQUEST` when the result would exceed the dense-table
-    /// player bound ([`TableGame::MAX_PLAYERS`]).
+    /// `BAD_REQUEST` when the result would exceed the sampled-path
+    /// player bound.
     pub fn join(&self, locations: u32, capacity: u64) -> Result<ScenarioSpec, QueryError> {
-        if self.n() + 1 > TableGame::MAX_PLAYERS {
+        if self.n() + 1 > MAX_SAMPLED_PLAYERS {
             return Err(QueryError::new(
                 "BAD_REQUEST",
                 format!(
-                    "cannot join: {} players is the dense-table limit",
-                    TableGame::MAX_PLAYERS
+                    "cannot join: {MAX_SAMPLED_PLAYERS} players is the sampled-Shapley limit"
                 ),
             ));
         }
@@ -161,6 +169,18 @@ impl CoalitionalGame for ScenarioGame {
     }
 }
 
+impl WideGame for ScenarioGame {
+    fn n_players(&self) -> usize {
+        self.facilities.len()
+    }
+
+    /// `V(S)` over member slices — what the sampled Shapley estimator
+    /// and the wide `coalition-value` path consume past 64 players.
+    fn value_members(&self, members: &[usize]) -> f64 {
+        FederationGame::new(&self.facilities, &self.demand).value_members(members)
+    }
+}
+
 /// Outcome of warming the state (reported by the daemon at startup).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WarmReport {
@@ -176,6 +196,10 @@ pub struct WarmReport {
 pub struct ServeState {
     spec: ScenarioSpec,
     cached: CachedGame<ScenarioGame>,
+    /// Sampled-Shapley parameters: budget, seed, confidence, method,
+    /// threads, and the `--approx` force flag. Per-seed deterministic,
+    /// so the pre-rendered payloads stay byte-identical.
+    approx: ApproxConfig,
     shapley: OnceLock<Result<String, QueryError>>,
     nucleolus: OnceLock<Result<String, QueryError>>,
     /// Derived-scenario LRU behind an [`OrderedMutex`] so debug builds
@@ -199,10 +223,23 @@ impl ServeState {
         ServeState {
             spec,
             cached,
+            approx: ApproxConfig::default(),
             shapley: OnceLock::new(),
             nucleolus: OnceLock::new(),
             whatif: OrderedMutex::new("serve.whatif", Lru::new(whatif_capacity)),
         }
+    }
+
+    /// Sets the sampled-Shapley parameters (builder style). Must be set
+    /// before the first query: the payload caches render exactly once.
+    pub fn with_approx(mut self, approx: ApproxConfig) -> ServeState {
+        self.approx = approx;
+        self
+    }
+
+    /// The sampled-Shapley parameters in effect.
+    pub fn approx_config(&self) -> &ApproxConfig {
+        &self.approx
     }
 
     /// The scenario spec being served.
@@ -223,11 +260,20 @@ impl ServeState {
     /// Pre-warms every cache layer: all `2^n` coalition values, the ϕ̂
     /// payload, and the nucleolus payload. `threads` shards the
     /// coalition sweep.
+    ///
+    /// Past [`EXACT_SHAPLEY_MAX_PLAYERS`] the `2^n` coalition sweep is
+    /// skipped (it would never finish); only the payloads are rendered,
+    /// which on that path means one sampled-estimator run.
     pub fn warm(&self, threads: usize) -> WarmReport {
         let _span = fedval_obs::span_with("serve.state.warm", || {
             format!("n={} threads={threads}", self.n())
         });
-        let coalitions = self.cached.prewarm(threads);
+        let coalitions = if self.n() <= EXACT_SHAPLEY_MAX_PLAYERS {
+            self.cached.prewarm(threads)
+        } else {
+            fedval_obs::counter_add("serve.warm.prewarm_skipped", 1);
+            0
+        };
         let shapley_ok = self.shapley_payload().is_ok();
         let nucleolus_ok = self.nucleolus_payload().is_ok();
         WarmReport {
@@ -279,7 +325,6 @@ impl ServeState {
 
     fn coalition_value(&self, players: &[usize]) -> Result<String, QueryError> {
         let n = self.n();
-        let mut mask = Coalition::EMPTY;
         for &p in players {
             if p >= n {
                 return Err(QueryError::new(
@@ -287,6 +332,25 @@ impl ServeState {
                     format!("player {p} out of range (n={n})"),
                 ));
             }
+        }
+        if n > BITSET_MAX_PLAYERS {
+            // Wide federations have no bitset form: canonicalize the
+            // member list and evaluate through the wide game, uncached
+            // (these are rare, explicitly-targeted probes).
+            let mut members = players.to_vec();
+            members.sort_unstable();
+            members.dedup();
+            fedval_obs::counter_add("serve.coalition.wide_evals", 1);
+            let value = ScenarioGame::new(&self.spec).value_members(&members);
+            let members: Vec<String> = members.iter().map(|p| p.to_string()).collect();
+            return Ok(format!(
+                "\"kind\":\"coalition-value\",\"coalition\":[{}],\"value\":{}",
+                members.join(","),
+                fedval_obs::json_f64(value)
+            ));
+        }
+        let mut mask = Coalition::EMPTY;
+        for &p in players {
             mask = mask.with(p);
         }
         let value = self.cached.value(mask);
@@ -324,6 +388,28 @@ impl ServeState {
         which: SolveWhich,
     ) -> Result<String, QueryError> {
         let _span = fedval_obs::span_with("serve.state.solve", || format!("kind={kind}"));
+        match which {
+            SolveWhich::Shapley
+                if self.approx.force || spec.n() > EXACT_SHAPLEY_MAX_PLAYERS =>
+            {
+                // Solver selection: past the exact cap (or under
+                // `--approx`) the query is answered by the sampled
+                // estimator with its confidence-interval certificate.
+                return self.sampled_shares(kind, spec);
+            }
+            SolveWhich::Nucleolus if spec.n() > NUCLEOLUS_MAX_PLAYERS => {
+                return Err(QueryError::new(
+                    "SOLVE_FAILED",
+                    format!(
+                        "nucleolus: game has {} players but exact enumeration supports at \
+                         most {NUCLEOLUS_MAX_PLAYERS}; the nucleolus has no sampled \
+                         fallback — query shapley instead",
+                        spec.n()
+                    ),
+                ));
+            }
+            _ => {}
+        }
         let table = if spec == &self.spec {
             self.base_table()?
         } else {
@@ -332,6 +418,16 @@ impl ServeState {
                 .map_err(|e| QueryError::new("SOLVE_FAILED", e.to_string()))?
         };
         render_shares_payload(kind, &table, which)
+    }
+
+    /// Runs the seeded sampled-Shapley estimator on `spec` and renders
+    /// the approx payload (shares + CI + budget + seed). Byte-identical
+    /// per `(spec, approx config)` at any thread count.
+    fn sampled_shares(&self, kind: &str, spec: &ScenarioSpec) -> Result<String, QueryError> {
+        let game = ScenarioGame::new(spec);
+        let approx = try_approx_shapley_wide(&game, &self.approx)
+            .map_err(|e| QueryError::new("SOLVE_FAILED", e.to_string()))?;
+        Ok(render_approx_payload(kind, spec.n(), &approx))
     }
 
     fn what_if(&self, key: WhatIfKey) -> Result<String, QueryError> {
@@ -355,7 +451,21 @@ impl ServeState {
             WhatIfKey::Leave { player } => ("what-if-leave", self.spec.leave(*player)),
         };
         let result = derived.and_then(|spec| self.solve_shares(kind, &spec, SolveWhich::Shapley));
-        lru.insert(key, result.clone());
+        // Deterministic outcomes (answers and request-shape rejections)
+        // are cached; solver failures are NOT — pinning one would keep
+        // serving a stale error after the condition clears (the bug that
+        // used to wedge joins which crossed the old exact-solver cap).
+        match &result {
+            Ok(_) => {
+                lru.insert(key, result.clone());
+            }
+            Err(e) if e.code == "BAD_REQUEST" => {
+                lru.insert(key, result.clone());
+            }
+            Err(_) => {
+                fedval_obs::counter_add("serve.whatif.errors_uncached", 1);
+            }
+        }
         result
     }
 }
@@ -389,6 +499,25 @@ fn render_shares_payload(
         fedval_obs::json_f64(grand),
         render_f64_array(&shares)
     ))
+}
+
+/// Renders the sampled-estimator payload: the exact payload's prefix
+/// (`kind`/`n`/`grand_value`/`shares`) plus the certificate fields —
+/// `approx`, `method`, `samples`, `confidence`, `seed`, and the
+/// per-player CI half-widths normalized by `V(N)`.
+fn render_approx_payload(kind: &str, n: usize, approx: &ApproxShapley) -> String {
+    format!(
+        "\"kind\":\"{kind}\",\"n\":{n},\"grand_value\":{},\"shares\":{},\
+         \"approx\":true,\"method\":\"{}\",\"samples\":{},\"confidence\":{},\
+         \"seed\":{},\"ci\":{}",
+        fedval_obs::json_f64(approx.grand_value),
+        render_f64_array(&approx.shares()),
+        approx.method.as_str(),
+        approx.samples,
+        fedval_obs::json_f64(approx.confidence),
+        approx.seed,
+        render_f64_array(&approx.ci_shares()),
+    )
 }
 
 /// Locks a mutex, recovering from poisoning: every structure behind
@@ -537,9 +666,157 @@ mod tests {
         };
         assert!(solo.leave(0).is_err());
         let mut big = spec.clone();
-        big.locations = vec![1; TableGame::MAX_PLAYERS];
-        big.capacities = vec![1; TableGame::MAX_PLAYERS];
-        assert!(big.join(1, 1).is_err(), "joins past the table bound fail");
+        big.locations = vec![1; MAX_SAMPLED_PLAYERS];
+        big.capacities = vec![1; MAX_SAMPLED_PLAYERS];
+        assert!(
+            big.join(1, 1).is_err(),
+            "joins past the sampled-path bound fail"
+        );
+        // Joins past the old dense-table cap succeed now: they fall
+        // through to the sampled estimator.
+        let mut wide = spec.clone();
+        wide.locations = vec![1; TableGame::MAX_PLAYERS];
+        wide.capacities = vec![1; TableGame::MAX_PLAYERS];
+        assert_eq!(
+            wide.join(1, 1).unwrap().n(),
+            TableGame::MAX_PLAYERS + 1,
+            "joins may cross the exact caps"
+        );
+    }
+
+    #[test]
+    fn what_if_join_crossing_the_exact_cap_uses_the_estimator() {
+        // 16 facilities = exactly the exact-solver cap; one join crosses
+        // it, and the solve must fall through to the sampled estimator
+        // instead of erroring (the old behaviour pinned a TooManyPlayers
+        // error in the LRU).
+        let spec = ScenarioSpec {
+            locations: vec![8; EXACT_SHAPLEY_MAX_PLAYERS],
+            capacities: vec![1; EXACT_SHAPLEY_MAX_PLAYERS],
+            threshold: 20.0,
+            shape: 1.0,
+            volume: Some(1),
+        };
+        let s = ServeState::new(spec, 4).with_approx(ApproxConfig {
+            samples: 32,
+            seed: 9,
+            ..ApproxConfig::default()
+        });
+        let kind = QueryKind::WhatIfJoin {
+            locations: 12,
+            capacity: 1,
+        };
+        let a = s.execute(&kind).unwrap();
+        assert!(a.starts_with("\"kind\":\"what-if-join\",\"n\":17,"), "{a}");
+        assert!(a.contains("\"approx\":true"), "{a}");
+        assert!(a.contains("\"samples\":32"), "{a}");
+        assert!(a.contains("\"seed\":9"), "{a}");
+        assert!(a.contains("\"ci\":["), "{a}");
+        let b = s.execute(&kind).unwrap();
+        assert_eq!(a, b, "sampled what-ifs serve cached identical bytes");
+        assert_eq!(s.whatif.lock().len(), 1);
+    }
+
+    #[test]
+    fn solver_failures_are_not_pinned_in_the_lru() {
+        // samples = 0 is a solver-layer failure (NoSamples), not a
+        // request-shape error: it must not be cached, so a later
+        // identical query re-runs the solve instead of serving a stale
+        // error forever.
+        let s = ServeState::new(ScenarioSpec::paper_4_1(), 4).with_approx(ApproxConfig {
+            samples: 0,
+            force: true,
+            ..ApproxConfig::default()
+        });
+        let kind = QueryKind::WhatIfJoin {
+            locations: 50,
+            capacity: 1,
+        };
+        let err = s.execute(&kind).unwrap_err();
+        assert_eq!(err.code, "SOLVE_FAILED");
+        assert_eq!(
+            s.whatif.lock().len(),
+            0,
+            "solver failures must not populate the LRU"
+        );
+        let again = s.execute(&kind).unwrap_err();
+        assert_eq!(again.code, "SOLVE_FAILED");
+    }
+
+    #[test]
+    fn large_federation_shapley_is_sampled_and_deterministic() {
+        let spec = ScenarioSpec {
+            locations: vec![6; 40],
+            capacities: vec![1; 40],
+            threshold: 30.0,
+            shape: 1.0,
+            volume: Some(1),
+        };
+        let approx = ApproxConfig {
+            samples: 48,
+            seed: 7,
+            ..ApproxConfig::default()
+        };
+        let one_thread = ServeState::new(spec.clone(), 4).with_approx(approx.clone());
+        let four_threads = ServeState::new(spec, 4).with_approx(ApproxConfig {
+            threads: 4,
+            ..approx
+        });
+        let a = one_thread.execute(&QueryKind::Shapley).unwrap();
+        let b = four_threads.execute(&QueryKind::Shapley).unwrap();
+        assert_eq!(a, b, "sampling must be byte-identical at any thread count");
+        assert!(a.starts_with("\"kind\":\"shapley\",\"n\":40,"), "{a}");
+        assert!(a.contains("\"approx\":true"), "{a}");
+        // The nucleolus has no sampled fallback: typed error, no panic.
+        let err = one_thread.execute(&QueryKind::Nucleolus).unwrap_err();
+        assert_eq!(err.code, "SOLVE_FAILED");
+        assert!(err.detail.contains("no sampled fallback"), "{}", err.detail);
+        // Warm must not attempt the 2^40 sweep.
+        let report = one_thread.warm(2);
+        assert_eq!(report.coalitions, 0);
+        assert!(report.shapley_ok);
+        assert!(!report.nucleolus_ok);
+    }
+
+    #[test]
+    fn coalition_value_works_past_the_bitset_width() {
+        let spec = ScenarioSpec {
+            locations: vec![5; 70],
+            capacities: vec![1; 70],
+            threshold: 8.0,
+            shape: 1.0,
+            volume: Some(1),
+        };
+        let s = ServeState::new(spec, 4);
+        let p = s
+            .execute(&QueryKind::CoalitionValue {
+                coalition: vec![69, 0, 1, 1],
+            })
+            .unwrap();
+        assert!(
+            p.starts_with("\"kind\":\"coalition-value\",\"coalition\":[0,1,69],"),
+            "{p}"
+        );
+        assert!(p.contains("\"value\":15"), "three facilities × 5 locations: {p}");
+        let err = s
+            .execute(&QueryKind::CoalitionValue {
+                coalition: vec![70],
+            })
+            .unwrap_err();
+        assert_eq!(err.code, "BAD_REQUEST");
+    }
+
+    #[test]
+    fn forced_approx_covers_the_exact_worked_example() {
+        let s = ServeState::new(ScenarioSpec::paper_4_1(), 4).with_approx(ApproxConfig {
+            samples: 2048,
+            seed: 3,
+            force: true,
+            ..ApproxConfig::default()
+        });
+        let p = s.execute(&QueryKind::Shapley).unwrap();
+        assert!(p.contains("\"approx\":true"), "{p}");
+        assert!(p.contains("\"grand_value\":1300"), "{p}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 mod authority;
 pub mod faults;
 mod federation;
+mod scale;
 mod selection;
 mod simulate;
 mod slice;
@@ -44,6 +45,7 @@ mod workload;
 pub use authority::{synthetic_authority, Authority};
 pub use faults::{Fault, FaultPlan, RetryPolicy};
 pub use federation::{Credential, Federation, NodeRecord};
+pub use scale::{synthetic_federation, synthetic_profile, synthetic_scenario};
 pub use selection::{satisfies_diversity, select, NodeQuery, Selection};
 pub use simulate::{
     empirical_game, empirical_game_diagnosed, run_coalition, run_coalition_faulted, Churn,

@@ -12,10 +12,12 @@
 //!
 //! Defaults reproduce the paper's §4.1 worked example.
 
-use fedval::policy::policy_report;
+use fedval::coalition::NUCLEOLUS_MAX_PLAYERS;
+use fedval::policy::try_policy_report;
 use fedval::{
-    Coalition, CoalitionalGame, Demand, ExperimentClass, Facility, FederationScenario,
-    SharingScheme, Volume,
+    ApproxConfig, ApproxMethod, Coalition, CoalitionalGame, Demand, ExperimentClass, Facility,
+    FederationGame, FederationScenario, ShapleyEstimate, SharingScheme, Volume, WideGame,
+    EXACT_SHAPLEY_MAX_PLAYERS, MAX_SAMPLED_PLAYERS,
 };
 use fedval_obs::{FileSink, RecordingSink, RunReport, Sink, TeeSink};
 use std::process::ExitCode;
@@ -31,6 +33,7 @@ struct Options {
     volume: Option<u64>, // None = capacity-filling
     scheme: String,
     threads: usize,
+    approx: ApproxConfig,
     trace: Option<String>,
     metrics: bool,
 }
@@ -53,7 +56,18 @@ fn usage() -> &'static str {
        --trace      path        write a JSONL observability trace (spans,\n\
                                 counters, events) to this file\n\
        --metrics                print the run report (per-phase timings,\n\
-                                counter totals) after the command output\n"
+                                counter totals) after the command output\n\
+       --synthetic  N[:SEED]    use the seeded large-n synthetic federation\n\
+                                (overrides --locations/--capacities/\n\
+                                --threshold; default seed 42)\n\
+     \n\
+     sampled Shapley (automatic past 16 facilities):\n\
+       --approx                 force the sampled estimator even below the\n\
+                                exact cap\n\
+       --approx-samples N       sampling budget           (default 256)\n\
+       --approx-seed    S       RNG seed; same seed, same output (default 42)\n\
+       --approx-method  M       permutation|stratified  (default permutation)\n\
+       --confidence     C       CI confidence level in (0,1) (default 0.95)\n"
 }
 
 /// Default worker-thread count: the available hardware parallelism
@@ -76,6 +90,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         volume: Some(1),
         scheme: "shapley".to_string(),
         threads: default_threads(),
+        approx: ApproxConfig::default(),
         trace: None,
         metrics: false,
     };
@@ -87,6 +102,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         // Valueless switches are matched before the generic value grab.
         if flag == "--metrics" {
             opts.metrics = true;
+            continue;
+        }
+        if flag == "--approx" {
+            opts.approx.force = true;
             continue;
         }
         let value = it
@@ -133,11 +152,57 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace" => {
                 opts.trace = Some(value.clone());
             }
+            "--synthetic" => {
+                let (n, seed) = match value.split_once(':') {
+                    Some((n, seed)) => (
+                        n.parse::<usize>().map_err(|e| format!("--synthetic: {e}"))?,
+                        seed.parse::<u64>().map_err(|e| format!("--synthetic: {e}"))?,
+                    ),
+                    None => (
+                        value.parse::<usize>().map_err(|e| format!("--synthetic: {e}"))?,
+                        42,
+                    ),
+                };
+                if n == 0 || n > MAX_SAMPLED_PLAYERS {
+                    return Err(format!(
+                        "--synthetic: need between 1 and {MAX_SAMPLED_PLAYERS} authorities"
+                    ));
+                }
+                let (draws, threshold) = fedval::testbed::synthetic_profile(n, seed);
+                opts.locations = draws.iter().map(|&(l, _)| l).collect();
+                opts.capacities = draws.iter().map(|&(_, r)| r).collect();
+                opts.threshold = threshold;
+                opts.shape = 1.0;
+                opts.volume = Some(1);
+            }
+            "--approx-samples" => {
+                opts.approx.samples = value
+                    .parse()
+                    .map_err(|e| format!("--approx-samples: {e}"))?;
+                if opts.approx.samples == 0 {
+                    return Err("--approx-samples must be at least 1".to_string());
+                }
+            }
+            "--approx-seed" => {
+                opts.approx.seed = value.parse().map_err(|e| format!("--approx-seed: {e}"))?;
+            }
+            "--approx-method" => {
+                opts.approx.method = ApproxMethod::parse(value).ok_or_else(|| {
+                    format!("--approx-method: '{value}' is not 'permutation' or 'stratified'")
+                })?;
+            }
+            "--confidence" => {
+                opts.approx.confidence =
+                    value.parse().map_err(|e| format!("--confidence: {e}"))?;
+                if !(opts.approx.confidence > 0.0 && opts.approx.confidence < 1.0) {
+                    return Err("--confidence must be strictly between 0 and 1".to_string());
+                }
+            }
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
     }
-    if opts.locations.is_empty() || opts.locations.len() > 12 {
-        return Err("need between 1 and 12 facilities".to_string());
+    if opts.locations.is_empty() || opts.locations.len() > MAX_SAMPLED_PLAYERS {
+        return Err(format!("need between 1 and {MAX_SAMPLED_PLAYERS} facilities"));
     }
     if opts.capacities.is_empty() {
         opts.capacities = vec![1; opts.locations.len()];
@@ -167,7 +232,54 @@ fn build_scenario(opts: &Options) -> FederationScenario {
         Some(k) => Demand::single(class, Volume::Count(k)),
         None => Demand::capacity_filling(class),
     };
-    FederationScenario::new(facilities, demand).with_threads(opts.threads)
+    FederationScenario::new(facilities, demand)
+        .with_threads(opts.threads)
+        .with_approx(opts.approx)
+}
+
+/// Prints the `shares` table for a sampled Shapley estimate, with the
+/// per-facility CI half-width column and the certificate header.
+fn print_sampled_shapley(scenario: &FederationScenario, n: usize) -> Result<(), String> {
+    let estimate = scenario.shapley_estimate().map_err(|e| e.to_string())?;
+    let approx = match estimate {
+        ShapleyEstimate::Approx(a) => a,
+        // Only reachable if solver selection changes under us; render the
+        // exact result in the sampled format with zero-width intervals.
+        ShapleyEstimate::Exact(phi) => {
+            let grand: f64 = phi.iter().sum();
+            println!("scheme: shapley (exact) — V(N) = {grand:.2}");
+            println!("{:>10} {:>10} {:>14}", "facility", "share", "payoff");
+            for (i, v) in phi.iter().enumerate() {
+                let share = if grand.abs() < 1e-12 { 0.0 } else { v / grand };
+                println!("{:>10} {:>10.4} {:>14.2}", i + 1, share, v);
+            }
+            return Ok(());
+        }
+    };
+    let shares = approx.shares();
+    let ci = approx.ci_shares();
+    println!(
+        "scheme: shapley (sampled: {}, {} samples, seed {}, {:.0}% CI) — V(N) = {:.2}",
+        approx.method.as_str(),
+        approx.samples,
+        approx.seed,
+        approx.confidence * 100.0,
+        approx.grand_value
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>14}",
+        "facility", "share", "±ci", "payoff"
+    );
+    for i in 0..n {
+        println!(
+            "{:>10} {:>10.4} {:>10.4} {:>14.2}",
+            i + 1,
+            shares[i],
+            ci[i],
+            shares[i] * approx.grand_value
+        );
+    }
+    Ok(())
 }
 
 fn scheme_from_name(name: &str) -> Result<SharingScheme, String> {
@@ -214,6 +326,13 @@ fn execute(opts: &Options) -> Result<(), String> {
 
     match opts.command.as_str() {
         "values" => {
+            if n > EXACT_SHAPLEY_MAX_PLAYERS {
+                return Err(format!(
+                    "values enumerates all 2^n coalitions and supports at most \
+                     {EXACT_SHAPLEY_MAX_PLAYERS} facilities (got {n}); use 'shares' or \
+                     'report' — past the cap they answer from the sampled estimator"
+                ));
+            }
             println!("{:>16} {:>14}", "coalition", "V(S)");
             for c in Coalition::all(n).filter(|c| !c.is_empty()) {
                 let label: Vec<String> = c.players().map(|p| (p + 1).to_string()).collect();
@@ -226,20 +345,47 @@ fn execute(opts: &Options) -> Result<(), String> {
         }
         "shares" => {
             let scheme = scheme_from_name(&opts.scheme)?;
-            let shares = scheme.shares(&scenario);
-            let payoffs = scenario.payoffs(&shares);
-            println!(
-                "scheme: {} — V(N) = {:.2}",
-                scheme.name(),
-                scenario.grand_value()
-            );
-            println!("{:>10} {:>10} {:>14}", "facility", "share", "payoff");
-            for i in 0..n {
-                println!("{:>10} {:>10.4} {:>14.2}", i + 1, shares[i], payoffs[i]);
+            if matches!(scheme, SharingScheme::Nucleolus) && n > NUCLEOLUS_MAX_PLAYERS {
+                return Err(format!(
+                    "the nucleolus supports at most {NUCLEOLUS_MAX_PLAYERS} facilities \
+                     (got {n}) and has no sampled fallback; use --scheme shapley"
+                ));
+            }
+            let sampled = opts.approx.force || n > EXACT_SHAPLEY_MAX_PLAYERS;
+            match (&scheme, sampled) {
+                (SharingScheme::Shapley, true) => print_sampled_shapley(&scenario, n)?,
+                (_, true) => {
+                    // Enumeration-free schemes at large n: V(N) comes from
+                    // one wide-game evaluation instead of the 2^n table.
+                    let shares = scheme.shares(&scenario);
+                    let game =
+                        FederationGame::new(scenario.facilities(), scenario.demand());
+                    let all: Vec<usize> = (0..n).collect();
+                    let grand = WideGame::value_members(&game, &all);
+                    println!("scheme: {} — V(N) = {grand:.2}", scheme.name());
+                    println!("{:>10} {:>10} {:>14}", "facility", "share", "payoff");
+                    for (i, s) in shares.iter().enumerate() {
+                        println!("{:>10} {:>10.4} {:>14.2}", i + 1, s, s * grand);
+                    }
+                }
+                (_, false) => {
+                    let shares = scheme.shares(&scenario);
+                    let payoffs = scenario.payoffs(&shares);
+                    println!(
+                        "scheme: {} — V(N) = {:.2}",
+                        scheme.name(),
+                        scenario.grand_value()
+                    );
+                    println!("{:>10} {:>10} {:>14}", "facility", "share", "payoff");
+                    for i in 0..n {
+                        println!("{:>10} {:>10.4} {:>14.2}", i + 1, shares[i], payoffs[i]);
+                    }
+                }
             }
         }
         "report" => {
-            print!("{}", policy_report(&scenario).render());
+            let report = try_policy_report(&scenario).map_err(|e| e.to_string())?;
+            print!("{}", report.render());
         }
         // lint: allow(no-panic-path) — parse() rejects unknown commands before
         // dispatch, so this arm is dead by construction.
@@ -364,6 +510,52 @@ mod tests {
         assert!(parse(&args(&["shares", "--threads", "0"])).is_err());
         assert!(parse(&args(&["shares", "--threads", "x"])).is_err());
         assert!(parse(&args(&["shares", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_approx_and_synthetic_flags() {
+        let opts = parse(&args(&[
+            "shares",
+            "--approx",
+            "--approx-samples",
+            "64",
+            "--approx-seed",
+            "5",
+            "--approx-method",
+            "stratified",
+            "--confidence",
+            "0.9",
+        ]))
+        .unwrap();
+        assert!(opts.approx.force);
+        assert_eq!(opts.approx.samples, 64);
+        assert_eq!(opts.approx.seed, 5);
+        assert_eq!(opts.approx.method, ApproxMethod::Stratified);
+        assert!((opts.approx.confidence - 0.9).abs() < 1e-12);
+        assert!(parse(&args(&["shares", "--approx-samples", "0"])).is_err());
+        assert!(parse(&args(&["shares", "--confidence", "1"])).is_err());
+        assert!(parse(&args(&["shares", "--approx-method", "x"])).is_err());
+
+        let syn = parse(&args(&["report", "--synthetic", "40:7"])).unwrap();
+        assert_eq!(syn.locations.len(), 40);
+        assert_eq!(syn.capacities.len(), 40);
+        let again = parse(&args(&["report", "--synthetic", "40:7"])).unwrap();
+        assert_eq!(syn.locations, again.locations);
+        assert!(parse(&args(&["report", "--synthetic", "0"])).is_err());
+        assert!(parse(&args(&["report", "--synthetic", "1000"])).is_err());
+        // The old 12-facility wall is gone.
+        let many: Vec<&str> = vec!["4"; 40];
+        assert!(parse(&args(&["shares", "--locations", &many.join(",")])).is_ok());
+    }
+
+    #[test]
+    fn sampled_shares_and_report_run_on_large_federations() {
+        let mut opts = parse(&args(&["shares", "--synthetic", "40:7"])).unwrap();
+        opts.approx.samples = 32;
+        let scenario = build_scenario(&opts);
+        assert!(print_sampled_shapley(&scenario, 40).is_ok());
+        let report = try_policy_report(&scenario).expect("degraded report");
+        assert!(report.approx.is_some());
     }
 
     #[test]
