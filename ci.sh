@@ -27,7 +27,7 @@ cargo test -q --workspace
 echo "== clippy panic-discipline (all crates, lib targets only)"
 for crate in fedval-simplex fedval-core fedval-coalition fedval-desim \
              fedval-testbed fedval-market fedval-policy fedval-bench \
-             fedval-lint fedval-obs fedval-serve; do
+             fedval-lint fedval-obs fedval-serve fedval-form; do
     echo "--  $crate"
     cargo clippy -q -p "$crate" --lib --release -- \
         -D clippy::unwrap_used \
@@ -176,9 +176,44 @@ if ! wait "$approx_pid"; then
     exit 1
 fi
 
+echo "== fedform formation smoke (n=200 churn, fingerprint invariance)"
+# Seeded hedonic merge/split dynamics on the 200-authority synthetic
+# federation: the full stdout — round trajectory, stability verdict,
+# payoff table, fingerprints — must be byte-identical across repeated
+# runs AND across thread counts (DESIGN.md §15). A diff here means the
+# engine leaked scheduling order into a committed surface.
+form_tmp=$(mktemp -d)
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${approx_tmp:-}" "${form_tmp:-}"' EXIT
+./target/release/fedform --synthetic 200:7 --rounds 12 --approx-samples 8 \
+    --threads 4 > "$form_tmp/t4_run1.txt"
+./target/release/fedform --synthetic 200:7 --rounds 12 --approx-samples 8 \
+    --threads 4 > "$form_tmp/t4_run2.txt"
+./target/release/fedform --synthetic 200:7 --rounds 12 --approx-samples 8 \
+    --threads 1 > "$form_tmp/t1_run1.txt"
+if ! diff "$form_tmp/t4_run1.txt" "$form_tmp/t4_run2.txt"; then
+    echo ""
+    echo "ci.sh: two identical fedform invocations produced different bytes —"
+    echo "the formation engine is not run-to-run deterministic."
+    exit 1
+fi
+if ! diff "$form_tmp/t4_run1.txt" "$form_tmp/t1_run1.txt"; then
+    echo ""
+    echo "ci.sh: fedform output differs between --threads 4 and --threads 1."
+    echo "The merge/split engine's fold discipline (input-order batched"
+    echo "evaluation) is broken: thread count leaked into the trajectory or"
+    echo "payoff table."
+    exit 1
+fi
+if ! grep -q "outcome fingerprint:" "$form_tmp/t4_run1.txt"; then
+    echo ""
+    echo "ci.sh: fedform output is missing its outcome fingerprint:"
+    cat "$form_tmp/t4_run1.txt"
+    exit 1
+fi
+
 echo "== fedchaos smoke (seeded chaos campaign vs hardened daemon)"
 chaos_tmp=$(mktemp -d)
-trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${approx_tmp:-}" "${chaos_tmp:-}"' EXIT
+trap 'rm -rf "$sweep_tmp" "${smoke_tmp:-}" "${approx_tmp:-}" "${form_tmp:-}" "${chaos_tmp:-}"' EXIT
 ./target/release/fedval-serve --addr 127.0.0.1:0 --warm --chaos-harness \
     --max-connections 24 --io-timeout-ms 500 --frame-deadline-ms 1000 \
     --idle-timeout-ms 5000 > "$chaos_tmp/serve.log" 2>&1 &

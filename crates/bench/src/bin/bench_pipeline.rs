@@ -165,6 +165,87 @@ fn run_approx(parallel_threads: usize) -> ApproxSummary {
     }
 }
 
+/// One formation run in the size ladder: seeded merge/split dynamics on
+/// a synthetic federation with everyone present at `t = 0`.
+struct FormationCase {
+    /// Federation width.
+    n: usize,
+    /// Rounds the engine actually ran (≤ the cap).
+    rounds: u64,
+    /// Quiescent round, or 0 when the cap hit first — the
+    /// time-to-converge figure BENCH_pipeline.json tracks.
+    time_to_converge: u64,
+    /// [`fedval_form::FormationOutcome::combined_fingerprint`] of the
+    /// threads=1 leg: trajectory + payoff table in one u64.
+    fingerprint: u64,
+    /// Wall time of the threads=1 leg, ns.
+    wall_ns: u64,
+}
+
+/// Formation benchmark results: the n ∈ {12, 64, 200} ladder plus the
+/// threads=1 vs threads=N byte-equality verdict.
+struct FormationSummary {
+    /// One entry per ladder size, ascending n.
+    cases: Vec<FormationCase>,
+    /// True iff every case rendered byte-identically on both legs.
+    thread_invariant: bool,
+    /// Rounds per second across every threads=1 leg (timing only).
+    rounds_per_sec: f64,
+}
+
+/// Runs the merge/split engine at n ∈ {12, 64, 200}, each size twice
+/// (threads=1, then `parallel_threads`), and demands byte-identical
+/// rendered outcomes — the PR 4 fold discipline applied to coalition
+/// formation. Budgets are deliberately lean (16-round cap, 8 Shapley
+/// samples) so the ladder stays a sub-second phase; the committed
+/// fingerprints still pin every merge, split, and payoff byte.
+fn run_formation(parallel_threads: usize) -> FormationSummary {
+    use fedval_form::{ChurnSchedule, FormationConfig, FormationEngine, FormationGame};
+    let _phase = fedval_obs::span("bench.phase.formation");
+    let config = |threads: usize| FormationConfig {
+        seed: 42,
+        max_rounds: 16,
+        threads,
+        approx: ApproxConfig {
+            samples: 8,
+            ..ApproxConfig::default()
+        },
+        ..FormationConfig::default()
+    };
+    let mut cases = Vec::new();
+    let mut thread_invariant = true;
+    let mut total_rounds = 0u64;
+    let mut total_wall_ns = 0u64;
+    for n in [12usize, 64, 200] {
+        let game = FormationGame::synthetic(n, 7);
+        let schedule = ChurnSchedule::all_at_start(n);
+        let start = std::time::Instant::now();
+        let baseline = FormationEngine::new(&game, config(1)).run(&schedule);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let parallel = FormationEngine::new(&game, config(parallel_threads)).run(&schedule);
+        thread_invariant &= baseline.render() == parallel.render();
+        total_rounds += baseline.rounds.len() as u64;
+        total_wall_ns += wall_ns;
+        cases.push(FormationCase {
+            n,
+            rounds: baseline.rounds.len() as u64,
+            time_to_converge: baseline.converged_round.unwrap_or(0) as u64,
+            fingerprint: baseline.combined_fingerprint(),
+            wall_ns,
+        });
+    }
+    let rounds_per_sec = if total_wall_ns > 0 {
+        total_rounds as f64 / (total_wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    FormationSummary {
+        cases,
+        thread_invariant,
+        rounds_per_sec,
+    }
+}
+
 /// The figures that are sweeps (everything except closed-form Fig. 2).
 fn sweep_figures() -> Vec<Figure> {
     vec![
@@ -234,11 +315,13 @@ fn run_sweep_legs(parallel_threads: usize) -> SweepSummary {
 }
 
 /// Runs every phase under the installed sink and returns the aggregate.
-fn run_pipeline(parallel_threads: usize) -> (RunReport, SweepSummary, ApproxSummary) {
+fn run_pipeline(
+    parallel_threads: usize,
+) -> (RunReport, SweepSummary, ApproxSummary, FormationSummary) {
     let recording = RecordingSink::new();
     fedval_obs::install(std::sync::Arc::new(recording.clone()));
 
-    let (sweep, approx) = {
+    let (sweep, approx, formation) = {
         let _total = fedval_obs::span("bench.pipeline.total");
 
         // §4.1 worked example: three facilities, one diversity-hungry
@@ -299,7 +382,11 @@ fn run_pipeline(parallel_threads: usize) -> (RunReport, SweepSummary, ApproxSumm
         // Sampled Shapley: error-vs-budget validation + the n=200
         // federation the exact solvers cannot touch.
         let approx = run_approx(parallel_threads);
-        (sweep, approx)
+        // Coalition formation: the merge/split dynamics ladder, each
+        // size run at threads=1 and threads=N for the byte-equality
+        // verdict.
+        let formation = run_formation(parallel_threads);
+        (sweep, approx, formation)
     };
 
     // Metrics live in the sharded fold; records carry only events and
@@ -311,6 +398,7 @@ fn run_pipeline(parallel_threads: usize) -> (RunReport, SweepSummary, ApproxSumm
         RunReport::from_parts(&fold, &recording.records()),
         sweep,
         approx,
+        formation,
     )
 }
 
@@ -374,7 +462,12 @@ fn push_kv_f64(out: &mut String, key: &str, value: f64, last: bool) {
 }
 
 /// The deterministic section: identical bytes on every run and machine.
-fn deterministic_section(report: &RunReport, sweep: &SweepSummary, approx: &ApproxSummary) -> String {
+fn deterministic_section(
+    report: &RunReport,
+    sweep: &SweepSummary,
+    approx: &ApproxSummary,
+    formation: &FormationSummary,
+) -> String {
     let mut out = String::from("  \"deterministic\": {\n");
     let ratio = report.cache_ratio("coalition.cache").unwrap_or(0.0);
     push_kv_f64(&mut out, "coalition.cache.hit_ratio", ratio, false);
@@ -457,6 +550,40 @@ fn deterministic_section(report: &RunReport, sweep: &SweepSummary, approx: &Appr
         &mut out,
         "approx.n200.max_ci_half_width",
         approx.n200_max_ci,
+        false,
+    );
+    // Formation ladder: rounds run, quiescent round (0 = cap hit), and
+    // the combined trajectory+payoff fingerprint of each size — plus
+    // the round/merge/split counters the engine emitted across both
+    // legs and the threads=1 vs threads=N verdict. All of it is a pure
+    // function of the seeds.
+    for case in &formation.cases {
+        push_kv_u64(
+            &mut out,
+            &format!("form.n{}.rounds", case.n),
+            case.rounds,
+            false,
+        );
+        push_kv_u64(
+            &mut out,
+            &format!("form.n{}.time_to_converge", case.n),
+            case.time_to_converge,
+            false,
+        );
+        push_kv_u64(
+            &mut out,
+            &format!("form.n{}.fingerprint", case.n),
+            case.fingerprint,
+            false,
+        );
+    }
+    for key in ["form.round", "form.merge", "form.split"] {
+        push_kv_u64(&mut out, key, report.counter(key), false);
+    }
+    push_kv_u64(
+        &mut out,
+        "form.thread_invariant",
+        u64::from(formation.thread_invariant),
         true,
     );
     out.push_str("  }");
@@ -468,6 +595,7 @@ fn timing_section(
     report: &RunReport,
     sweep: &SweepSummary,
     approx: &ApproxSummary,
+    formation: &FormationSummary,
     overhead: &ObsOverhead,
 ) -> String {
     let mut out = String::from("  \"timing\": {\n");
@@ -486,6 +614,7 @@ fn timing_section(
         "demand_sim",
         "sweep",
         "approx",
+        "formation",
     ] {
         push_kv_u64(
             &mut out,
@@ -519,6 +648,20 @@ fn timing_section(
     );
     push_kv_f64(&mut out, "sweep.speedup", sweep.speedup(), false);
     push_kv_u64(&mut out, "approx.n200_wall_ns", approx.n200_wall_ns, false);
+    for case in &formation.cases {
+        push_kv_u64(
+            &mut out,
+            &format!("form.n{}_wall_ns", case.n),
+            case.wall_ns,
+            false,
+        );
+    }
+    push_kv_f64(
+        &mut out,
+        "form.rounds_per_sec",
+        formation.rounds_per_sec,
+        false,
+    );
     push_kv_u64(
         &mut out,
         "obs_overhead.enabled_wall_ns",
@@ -545,12 +688,13 @@ fn render_json(
     report: &RunReport,
     sweep: &SweepSummary,
     approx: &ApproxSummary,
+    formation: &FormationSummary,
     overhead: &ObsOverhead,
 ) -> String {
     format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation + fig4-9 sweep + sampled shapley\",\n{},\n{}\n}}\n",
-        deterministic_section(report, sweep, approx),
-        timing_section(report, sweep, approx, overhead),
+        "{{\n  \"bench\": \"pipeline\",\n  \"example\": \"section-4.1 worked example + seeded demand simulation + fig4-9 sweep + sampled shapley + formation ladder\",\n{},\n{}\n}}\n",
+        deterministic_section(report, sweep, approx, formation),
+        timing_section(report, sweep, approx, formation, overhead),
     )
 }
 
@@ -573,12 +717,19 @@ fn main() -> ExitCode {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
     };
-    let (report, sweep, approx) = run_pipeline(threads);
+    let (report, sweep, approx, formation) = run_pipeline(threads);
     let path = bench_path();
 
     if !sweep.thread_invariant {
         eprintln!(
             "bench_pipeline: figure data differs between threads=1 and threads={}",
+            sweep.parallel_threads
+        );
+        return ExitCode::FAILURE;
+    }
+    if !formation.thread_invariant {
+        eprintln!(
+            "bench_pipeline: formation outcome differs between threads=1 and threads={}",
             sweep.parallel_threads
         );
         return ExitCode::FAILURE;
@@ -592,7 +743,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let expected = deterministic_section(&report, &sweep, &approx);
+        let expected = deterministic_section(&report, &sweep, &approx, &formation);
         if !existing.contains(&expected) {
             eprintln!(
                 "bench_pipeline --check: deterministic section of {} is stale.\n\
@@ -629,7 +780,7 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         let overhead = measure_obs_overhead();
-        let json = render_json(&report, &sweep, &approx, &overhead);
+        let json = render_json(&report, &sweep, &approx, &formation, &overhead);
         match std::fs::write(&path, &json) {
             Ok(()) => {
                 print!("{json}");

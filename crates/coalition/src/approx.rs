@@ -295,8 +295,10 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Derives the RNG seed for stream `stream` of master seed `seed`. Streams
 /// are statistically independent; the mapping is fixed forever (results are
-/// seeded by it).
-fn derive_seed(seed: u64, stream: u64) -> u64 {
+/// seeded by it). Public so downstream deterministic-parallel consumers
+/// (the formation engine's per-round rule streams, for one) share the same
+/// stream discipline instead of inventing incompatible mixers.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
     splitmix64(seed ^ splitmix64(stream))
 }
 

@@ -50,9 +50,10 @@ mod tau;
 mod weighted;
 
 pub use approx::{
-    hoeffding_epsilon, hoeffding_samples, shapley_auto, shapley_auto_wide, try_approx_shapley,
-    try_approx_shapley_wide, z_for_confidence, ApproxConfig, ApproxMethod, ApproxShapley,
-    AsWide, ShapleyEstimate, WideGame, EXACT_SHAPLEY_MAX_PLAYERS, MAX_SAMPLED_PLAYERS,
+    derive_seed, hoeffding_epsilon, hoeffding_samples, shapley_auto, shapley_auto_wide,
+    try_approx_shapley, try_approx_shapley_wide, z_for_confidence, ApproxConfig, ApproxMethod,
+    ApproxShapley, AsWide, ShapleyEstimate, WideGame, EXACT_SHAPLEY_MAX_PLAYERS,
+    MAX_SAMPLED_PLAYERS,
 };
 pub use balancedness::{balancedness, is_balanced, try_balancedness, Balancedness};
 pub use banzhaf::{banzhaf, banzhaf_normalized, banzhaf_player, try_banzhaf_player};

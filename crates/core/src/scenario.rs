@@ -156,6 +156,16 @@ impl FederationScenario {
         &self.demand
     }
 
+    /// `V(S)` for an arbitrary member subset (ascending player ids), at
+    /// any federation width — the enumeration-free
+    /// [`WideGame`](fedval_coalition::WideGame) view of the scenario.
+    /// This is the hook the formation engine (`fedval-form`) prices
+    /// candidate coalitions through: no `2^n` table is materialized.
+    pub fn value_of_members(&self, members: &[usize]) -> f64 {
+        use fedval_coalition::WideGame as _;
+        FederationGame::new(&self.facilities, &self.demand).value_members(members)
+    }
+
     /// The cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost

@@ -1,0 +1,147 @@
+//! Lifecycle schedules: who arrives and departs, and when.
+//!
+//! Departures come from the *existing* fault machinery —
+//! [`fedval_testbed::faults::FaultPlan`] authority-departure events map
+//! one-to-one onto [`LifeEvent::Depart`] — so a formation run can share
+//! its churn with an availability/fault experiment. Arrivals are seeded
+//! locally (the fault plan models exits, not entries).
+
+use fedval_coalition::derive_seed;
+use fedval_desim::SimRng;
+use fedval_testbed::faults::{Fault, FaultPlan};
+
+/// Arrival-stream selector mixed into the master seed.
+const ARRIVAL_STREAM: u64 = 0xA22A_1BBE;
+
+/// One authority lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifeEvent {
+    /// The authority arrives (Candidate → Member at the event time).
+    Arrive(usize),
+    /// The authority announces departure (Member → Departing; retired at
+    /// the next round boundary).
+    Depart(usize),
+}
+
+/// A deterministic arrival/departure schedule for `n` authorities.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    events: Vec<(f64, LifeEvent)>,
+}
+
+impl ChurnSchedule {
+    /// The empty schedule.
+    pub fn new() -> ChurnSchedule {
+        ChurnSchedule::default()
+    }
+
+    /// `(time, event)` pairs in insertion order. (The simulator orders by
+    /// time with insertion-order tie-breaks, so this order is part of the
+    /// deterministic contract.)
+    pub fn events(&self) -> &[(f64, LifeEvent)] {
+        &self.events
+    }
+
+    /// Appends an arrival.
+    pub fn arrive(mut self, authority: usize, at: f64) -> ChurnSchedule {
+        self.events.push((at, LifeEvent::Arrive(authority)));
+        self
+    }
+
+    /// Appends a departure announcement.
+    pub fn depart(mut self, authority: usize, at: f64) -> ChurnSchedule {
+        self.events.push((at, LifeEvent::Depart(authority)));
+        self
+    }
+
+    /// Every authority present from the start, nobody leaves — the static
+    /// federation the paper prices.
+    pub fn all_at_start(n: usize) -> ChurnSchedule {
+        let mut s = ChurnSchedule::new();
+        for a in 0..n {
+            s = s.arrive(a, 0.0);
+        }
+        s
+    }
+
+    /// Folds a fault plan's authority departures into this schedule.
+    /// Other fault kinds (node crashes, site outages, credential outages)
+    /// do not change federation *membership* and are ignored here.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> ChurnSchedule {
+        for fault in plan.events() {
+            if let Fault::AuthorityDeparture { authority, at } = *fault {
+                self.events.push((at, LifeEvent::Depart(authority)));
+            }
+        }
+        self
+    }
+
+    /// The standard seeded churn workload: `initial` authorities (in index
+    /// order) are present at t=0, the rest arrive at seeded uniform times
+    /// in the first 60% of `horizon`, and `departures` seeded authority
+    /// departures (drawn by [`FaultPlan::sampled_departures`]) land in the
+    /// last 70%. A pure function of the arguments.
+    pub fn seeded(
+        n: usize,
+        seed: u64,
+        horizon: f64,
+        initial: usize,
+        departures: usize,
+    ) -> ChurnSchedule {
+        let mut s = ChurnSchedule::new();
+        let initial = initial.clamp(usize::from(n > 0), n);
+        for a in 0..initial {
+            s = s.arrive(a, 0.0);
+        }
+        let mut rng = SimRng::seed_from(derive_seed(seed, ARRIVAL_STREAM));
+        for a in initial..n {
+            s = s.arrive(a, rng.uniform01() * horizon * 0.6);
+        }
+        let plan =
+            FaultPlan::new().sampled_departures(derive_seed(seed, 1), n, horizon, departures);
+        s.with_fault_plan(&plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let a = ChurnSchedule::seeded(32, 9, 100.0, 16, 4);
+        let b = ChurnSchedule::seeded(32, 9, 100.0, 16, 4);
+        assert_eq!(a.events(), b.events());
+        let c = ChurnSchedule::seeded(32, 10, 100.0, 16, 4);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn seeded_counts_add_up() {
+        let s = ChurnSchedule::seeded(20, 3, 50.0, 8, 5);
+        let arrivals = s
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, LifeEvent::Arrive(_)))
+            .count();
+        let departs = s
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, LifeEvent::Depart(_)))
+            .count();
+        assert_eq!(arrivals, 20);
+        assert_eq!(departs, 5);
+    }
+
+    #[test]
+    fn fault_plan_departures_map_through() {
+        let plan = FaultPlan::new()
+            .authority_departure(3, 12.5)
+            .node_crash(0, 1.0, None);
+        let s = ChurnSchedule::all_at_start(4).with_fault_plan(&plan);
+        assert!(s
+            .events()
+            .iter()
+            .any(|&(t, e)| t == 12.5 && e == LifeEvent::Depart(3)));
+    }
+}

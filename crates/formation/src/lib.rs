@@ -1,0 +1,42 @@
+#![deny(missing_docs)]
+
+//! Dynamic coalition formation under churn.
+//!
+//! The paper prices a *fixed* grand coalition; this crate lets the
+//! federation *form*. Authorities join, fail, and depart on the desim
+//! clock (lifecycle Candidate → Member → Departing → Gone), and the
+//! active population is maintained as a **partition** into coalitions
+//! that evolves round-by-round under seeded hedonic **merge/split**
+//! rules (arXiv:1309.2444): two coalitions merge when the merged value
+//! strictly exceeds the sum of parts; a coalition splits when some
+//! bipartition strictly gains. Coalition values come from the same
+//! characteristic functions the rest of the workspace prices
+//! ([`fedval_coalition::WideGame`] — exact allocation values at any
+//! width, sampled Shapley for payoffs past the exact cap).
+//!
+//! Everything is deterministic: the event order is pinned by the
+//! simulator's `(time, seq)` heap, every random draw comes from a
+//! stream derived with [`fedval_coalition::derive_seed`] from
+//! `(seed, round)`, and parallel value evaluation follows the PR 4
+//! fold discipline (disjoint output slots, input-order fold), so a run
+//! is byte-identical at any `--threads` count.
+//!
+//! Entry points: [`FormationEngine::run`] drives a
+//! [`ChurnSchedule`] over any [`fedval_coalition::WideGame`];
+//! [`FormationGame`] adapts a [`fedval_core::FederationScenario`] or a
+//! seeded synthetic federation; the `fedform` bin wraps both.
+
+pub mod churn;
+pub mod engine;
+pub mod lifecycle;
+pub mod oracle;
+pub mod partition;
+
+pub use churn::{ChurnSchedule, LifeEvent};
+pub use engine::{
+    FormationConfig, FormationEngine, FormationGame, FormationOutcome, PayoffRow, RoundRecord,
+    StabilityReport,
+};
+pub use lifecycle::LifecycleState;
+pub use oracle::ValueOracle;
+pub use partition::{fnv1a, Partition};

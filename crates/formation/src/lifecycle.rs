@@ -1,0 +1,60 @@
+//! Authority lifecycle states.
+//!
+//! Authorities move strictly forward through
+//! `Candidate → Member → Departing → Gone`; the engine never moves an
+//! authority backwards (a departed authority that "returns" would be a
+//! new player id in a new scenario, not a resurrection). `Member` and
+//! `Departing` authorities occupy a coalition; `Candidate` and `Gone`
+//! do not.
+
+/// Where an authority is in its federation lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LifecycleState {
+    /// Known to the scenario but not yet arrived; holds no coalition slot.
+    Candidate,
+    /// Arrived and participating: occupies exactly one coalition.
+    Member,
+    /// Departure announced (churn/fault event observed); still counted in
+    /// its coalition until the next round boundary retires it.
+    Departing,
+    /// Left the federation; its coalition slot has been released.
+    Gone,
+}
+
+impl LifecycleState {
+    /// Short fixed label used in deterministic renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            LifecycleState::Candidate => "candidate",
+            LifecycleState::Member => "member",
+            LifecycleState::Departing => "departing",
+            LifecycleState::Gone => "gone",
+        }
+    }
+
+    /// Whether the authority currently occupies a coalition slot.
+    pub fn in_partition(self) -> bool {
+        matches!(self, LifecycleState::Member | LifecycleState::Departing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(LifecycleState::Candidate.label(), "candidate");
+        assert_eq!(LifecycleState::Member.label(), "member");
+        assert_eq!(LifecycleState::Departing.label(), "departing");
+        assert_eq!(LifecycleState::Gone.label(), "gone");
+    }
+
+    #[test]
+    fn partition_occupancy_matches_states() {
+        assert!(!LifecycleState::Candidate.in_partition());
+        assert!(LifecycleState::Member.in_partition());
+        assert!(LifecycleState::Departing.in_partition());
+        assert!(!LifecycleState::Gone.in_partition());
+    }
+}

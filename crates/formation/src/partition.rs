@@ -1,0 +1,248 @@
+//! The coalition partition: disjoint blocks of active authorities.
+//!
+//! Blocks live in a `BTreeMap` keyed by a block id so iteration order is
+//! deterministic; member lists are kept sorted. The *canonical* encoding
+//! (blocks ordered by their minimum member, members ascending) is
+//! independent of block-id history, so two runs that reach the same
+//! partition through different merge orders fingerprint identically.
+
+use fedval_coalition::PlayerId;
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds `bytes` into an FNV-1a accumulator. Deterministic and
+/// platform-independent — the partition/trajectory fingerprints in CI
+/// and `bench_pipeline --check` are built from this.
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A partition of the active authorities into disjoint coalitions.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    blocks: BTreeMap<u32, Vec<PlayerId>>,
+    next_id: u32,
+}
+
+impl Partition {
+    /// The empty partition.
+    pub fn new() -> Partition {
+        Partition::default()
+    }
+
+    /// Number of coalitions.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total members across all coalitions.
+    pub fn n_members(&self) -> usize {
+        self.blocks.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(block_id, members)` in block-id order.
+    pub fn blocks(&self) -> impl Iterator<Item = (u32, &[PlayerId])> {
+        self.blocks.iter().map(|(&id, m)| (id, m.as_slice()))
+    }
+
+    /// Block ids in ascending order.
+    pub fn block_ids(&self) -> Vec<u32> {
+        self.blocks.keys().copied().collect()
+    }
+
+    /// The sorted member list of block `id` (empty slice if absent).
+    pub fn members(&self, id: u32) -> &[PlayerId] {
+        self.blocks.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// The block currently holding `player`, if any.
+    pub fn block_of(&self, player: PlayerId) -> Option<u32> {
+        self.blocks
+            .iter()
+            .find(|(_, m)| m.binary_search(&player).is_ok())
+            .map(|(&id, _)| id)
+    }
+
+    /// Admits `player` as a fresh singleton coalition; returns its block id.
+    /// A player already present is left where it is (its block is returned).
+    pub fn insert_singleton(&mut self, player: PlayerId) -> u32 {
+        if let Some(id) = self.block_of(player) {
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.blocks.insert(id, vec![player]);
+        id
+    }
+
+    /// Removes `player` from its block (dropping the block if emptied).
+    /// Returns the block id it was removed from, if it was present.
+    pub fn remove_member(&mut self, player: PlayerId) -> Option<u32> {
+        let id = self.block_of(player)?;
+        let emptied = {
+            let members = self.blocks.get_mut(&id)?;
+            if let Ok(pos) = members.binary_search(&player) {
+                members.remove(pos);
+            }
+            members.is_empty()
+        };
+        if emptied {
+            self.blocks.remove(&id);
+        }
+        Some(id)
+    }
+
+    /// Merges blocks `a` and `b` into one block under `min(a, b)`.
+    /// Returns the surviving id, or `None` if either block is absent or
+    /// `a == b`.
+    pub fn merge(&mut self, a: u32, b: u32) -> Option<u32> {
+        if a == b {
+            return None;
+        }
+        let (keep, fold) = if a < b { (a, b) } else { (b, a) };
+        let folded = self.blocks.remove(&fold)?;
+        match self.blocks.get_mut(&keep) {
+            Some(members) => {
+                members.extend(folded);
+                members.sort_unstable();
+                Some(keep)
+            }
+            None => {
+                // `keep` vanished out from under us: restore and refuse.
+                self.blocks.insert(fold, folded);
+                None
+            }
+        }
+    }
+
+    /// Replaces block `id` with the two sides of a bipartition. The side
+    /// containing the smaller minimum member keeps `id`; the other side
+    /// gets a fresh id. Returns `(kept_id, new_id)`, or `None` when the
+    /// bipartition is not an exact two-way split of the block's members
+    /// (either side empty, overlap, or members missing).
+    pub fn split(
+        &mut self,
+        id: u32,
+        mut side_a: Vec<PlayerId>,
+        mut side_b: Vec<PlayerId>,
+    ) -> Option<(u32, u32)> {
+        if side_a.is_empty() || side_b.is_empty() {
+            return None;
+        }
+        side_a.sort_unstable();
+        side_b.sort_unstable();
+        let mut reunion: Vec<PlayerId> = side_a.iter().chain(side_b.iter()).copied().collect();
+        reunion.sort_unstable();
+        if self.blocks.get(&id).map(Vec::as_slice) != Some(reunion.as_slice()) {
+            return None;
+        }
+        let (first, second) = if side_a[0] < side_b[0] {
+            (side_a, side_b)
+        } else {
+            (side_b, side_a)
+        };
+        let new_id = self.next_id;
+        self.next_id += 1;
+        self.blocks.insert(id, first);
+        self.blocks.insert(new_id, second);
+        Some((id, new_id))
+    }
+
+    /// Canonical text encoding: blocks ordered by minimum member, members
+    /// ascending — `"0,3|1,2,4"`. Identical partitions encode identically
+    /// regardless of the merge/split history that produced them.
+    pub fn canonical(&self) -> String {
+        let mut blocks: Vec<&Vec<PlayerId>> = self.blocks.values().collect();
+        blocks.sort_by_key(|m| m.first().copied().unwrap_or(PlayerId::MAX));
+        let mut out = String::new();
+        for (i, members) in blocks.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            for (j, p) in members.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&p.to_string());
+            }
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`Partition::canonical`].
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(FNV_OFFSET, self.canonical().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_merge_split_roundtrip() {
+        let mut p = Partition::new();
+        for player in [3, 1, 4] {
+            p.insert_singleton(player);
+        }
+        assert_eq!(p.n_blocks(), 3);
+        let a = p.block_of(3).unwrap();
+        let b = p.block_of(1).unwrap();
+        let merged = p.merge(a, b).unwrap();
+        assert_eq!(p.members(merged), &[1, 3]);
+        assert_eq!(p.n_blocks(), 2);
+        let (kept, fresh) = p.split(merged, vec![3], vec![1]).unwrap();
+        assert_eq!(p.members(kept), &[1]);
+        assert_eq!(p.members(fresh), &[3]);
+    }
+
+    #[test]
+    fn canonical_is_history_independent() {
+        // Reach {0,2}|{1} two ways; encodings must agree.
+        let mut p = Partition::new();
+        let a = p.insert_singleton(0);
+        p.insert_singleton(1);
+        let c = p.insert_singleton(2);
+        p.merge(a, c);
+
+        let mut q = Partition::new();
+        let c2 = q.insert_singleton(2);
+        let a2 = q.insert_singleton(0);
+        q.insert_singleton(1);
+        q.merge(c2, a2);
+
+        assert_eq!(p.canonical(), q.canonical());
+        assert_eq!(p.canonical(), "0,2|1");
+        assert_eq!(p.fingerprint(), q.fingerprint());
+    }
+
+    #[test]
+    fn split_rejects_malformed_bipartitions() {
+        let mut p = Partition::new();
+        let a = p.insert_singleton(0);
+        let b = p.insert_singleton(1);
+        let id = p.merge(a, b).unwrap();
+        assert!(p.split(id, vec![0, 1], vec![]).is_none());
+        assert!(p.split(id, vec![0], vec![2]).is_none());
+        assert!(p.split(id, vec![0], vec![0, 1]).is_none());
+        // The failed attempts left the block intact.
+        assert_eq!(p.members(id), &[0, 1]);
+    }
+
+    #[test]
+    fn remove_member_drops_emptied_blocks() {
+        let mut p = Partition::new();
+        let id = p.insert_singleton(7);
+        assert_eq!(p.remove_member(7), Some(id));
+        assert_eq!(p.n_blocks(), 0);
+        assert_eq!(p.remove_member(7), None);
+    }
+}

@@ -30,7 +30,7 @@ use crate::rules::{self, Finding};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose code must never read wall clocks (seeded pipelines).
-pub const WALL_CLOCK_CRATES: [&str; 4] = ["coalition", "desim", "simplex", "core"];
+pub const WALL_CLOCK_CRATES: [&str; 5] = ["coalition", "desim", "simplex", "core", "formation"];
 
 /// Individual files outside those crates that also feed seeded output.
 pub const WALL_CLOCK_FILES: [&str; 1] = ["crates/bench/src/sweep.rs"];
@@ -684,6 +684,9 @@ mod tests {
         let fs = run(&[(src, "crates/serve/src/x.rs", "serve")]);
         assert!(fs.is_empty());
         let fs = run(&[(src, "crates/bench/src/sweep.rs", "bench")]);
+        assert_eq!(rules_of(&fs), vec!["wall-clock-in-deterministic-path"]);
+        // The formation engine feeds committed fingerprints: in scope.
+        let fs = run(&[(src, "crates/formation/src/engine.rs", "formation")]);
         assert_eq!(rules_of(&fs), vec!["wall-clock-in-deterministic-path"]);
     }
 

@@ -42,7 +42,7 @@ pub use mixture::{
 };
 pub use report::{
     policy_report, policy_report_measured, try_policy_report, try_policy_report_measured,
-    PolicyReport,
+    FormationSection, PolicyReport,
 };
 pub use scheme::SharingScheme;
 pub use smoothing::{

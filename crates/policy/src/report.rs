@@ -36,6 +36,41 @@ pub struct PolicyReport {
     /// empirically (fault injection, fallbacks, retries); `None` for
     /// closed-form games.
     pub measurement: Option<GameDiagnostics>,
+    /// Formation-dynamics summary (convergence, stability, payoff
+    /// regret), when a `fedval-form` merge/split run accompanied the
+    /// report; `None` for static grand-coalition reports.
+    pub formation: Option<FormationSection>,
+}
+
+/// Summary of a dynamic coalition-formation run (`fedval-form`) attached
+/// to a policy report: did the partition converge, is it merge/split
+/// stable, and how far do realized payoffs sit from the Shapley promise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormationSection {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// First quiescent round, if the dynamics converged.
+    pub converged_round: Option<usize>,
+    /// Total merge operations.
+    pub merges: usize,
+    /// Total split operations.
+    pub splits: usize,
+    /// No examined pair of coalitions gains by merging.
+    pub merge_stable: bool,
+    /// No examined bipartition of a coalition gains by splitting.
+    pub split_stable: bool,
+    /// Whether the stability probe covered the full candidate space.
+    pub stability_exhaustive: bool,
+    /// Final coalition count.
+    pub coalitions: usize,
+    /// Final member count.
+    pub members: usize,
+    /// Largest |promised − realized| across surviving authorities.
+    pub max_abs_regret: f64,
+    /// Mean |promised − realized| across surviving authorities.
+    pub mean_abs_regret: f64,
+    /// The run's combined trajectory+payoff fingerprint.
+    pub fingerprint: u64,
 }
 
 /// Builds the report for all built-in schemes.
@@ -58,6 +93,7 @@ pub fn policy_report(scenario: &FederationScenario) -> PolicyReport {
         assessments,
         approx: None,
         measurement: None,
+        formation: None,
     }
 }
 
@@ -157,10 +193,18 @@ fn approx_report(scenario: &FederationScenario) -> Result<PolicyReport, Coalitio
         assessments,
         approx,
         measurement: None,
+        formation: None,
     })
 }
 
 impl PolicyReport {
+    /// Attaches a formation-dynamics summary (builder style).
+    #[must_use]
+    pub fn with_formation(mut self, section: FormationSection) -> PolicyReport {
+        self.formation = Some(section);
+        self
+    }
+
     /// The scheme the report recommends: the in-core scheme closest to
     /// contribution-proportionality, falling back to Shapley (the paper's
     /// default recommendation) when the core is empty or nothing lands in
@@ -241,6 +285,33 @@ impl PolicyReport {
                 a.seed,
                 a.confidence * 100.0,
                 max_ci
+            );
+        }
+        if let Some(f) = &self.formation {
+            let converged = match f.converged_round {
+                Some(k) => format!("round {k}/{}", f.rounds),
+                None => format!("no ({} rounds)", f.rounds),
+            };
+            let _ = writeln!(
+                out,
+                "formation: converged={converged} merges={} splits={} \
+merge_stable={} split_stable={} ({}) partition={}x{}",
+                f.merges,
+                f.splits,
+                f.merge_stable,
+                f.split_stable,
+                if f.stability_exhaustive {
+                    "exhaustive"
+                } else {
+                    "sampled"
+                },
+                f.coalitions,
+                f.members,
+            );
+            let _ = writeln!(
+                out,
+                "formation: payoff regret max|r|={:.4} mean|r|={:.4} fingerprint={:016x}",
+                f.max_abs_regret, f.mean_abs_regret, f.fingerprint
             );
         }
         if let Some(m) = &self.measurement {

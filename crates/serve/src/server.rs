@@ -991,8 +991,24 @@ fn stats_payload(shared: &Shared) -> String {
         .iter()
         .map(|(label, counter)| format!("\"{label}\":{}", fold.counter(counter)))
         .collect();
+    // Past the exact cap (or under `--approx`) share queries run the
+    // sampled estimator; stats must say so, with the budget actually
+    // in effect — clients were misled into reading sampled CIs as
+    // exact values when this was missing.
+    let approx = if shared.state.approx_active() {
+        let config = shared.state.approx_config();
+        format!(
+            ",\"approx\":true,\"approx_method\":\"{}\",\"approx_samples\":{},\"approx_confidence\":{},\"approx_seed\":{}",
+            config.method.as_str(),
+            config.samples,
+            fedval_obs::json_f64(config.confidence),
+            config.seed,
+        )
+    } else {
+        ",\"approx\":false".to_string()
+    };
     format!(
-        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"uptime_s\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"shed\":{},\"worker_restarts\":{},\"internal_errors\":{},\"slow_closed\":{},\"write_failed\":{},\"open_conns\":{},\"max_connections\":{},\"req_ok\":{},\"req_error\":{},\"requests\":{{{}}},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}",
+        "\"kind\":\"stats\",\"n\":{},\"uptime_ms\":{},\"uptime_s\":{},\"threads\":{},\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"answered\":{},\"inline_answered\":{},\"busy\":{},\"deadline_expired\":{},\"protocol_errors\":{},\"refused_draining\":{},\"shed\":{},\"worker_restarts\":{},\"internal_errors\":{},\"slow_closed\":{},\"write_failed\":{},\"open_conns\":{},\"max_connections\":{},\"req_ok\":{},\"req_error\":{},\"requests\":{{{}}},\"whatif_hits\":{},\"whatif_misses\":{},\"coalitions_cached\":{}{}",
         shared.state.n(),
         shared.started.elapsed().as_millis(),
         shared.started.elapsed().as_secs(),
@@ -1019,6 +1035,7 @@ fn stats_payload(shared: &Shared) -> String {
         fold.counter("serve.whatif.hits"),
         fold.counter("serve.whatif.misses"),
         shared.state.coalitions_cached(),
+        approx,
     )
 }
 
@@ -1145,6 +1162,32 @@ mod tests {
         assert!(stats.contains("\"coalitions_cached\":8"), "{stats}");
         assert!(stats.contains("\"uptime_s\":"), "{stats}");
         assert!(stats.contains("\"requests\":{\"coalition_value\":"), "{stats}");
+        // The paper scenario (n=3) is far under the exact cap: stats
+        // must advertise the exact path, with no sampling parameters.
+        assert!(stats.contains("\"approx\":false"), "{stats}");
+        assert!(!stats.contains("\"approx_method\""), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_sampled_estimator_when_forced() {
+        let state = ServeState::new(ScenarioSpec::paper_4_1(), 8).with_approx(
+            fedval_coalition::ApproxConfig {
+                samples: 48,
+                force: true,
+                ..fedval_coalition::ApproxConfig::default()
+            },
+        );
+        state.warm(1);
+        let server =
+            Server::start(state, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        let (mut reader, mut stream) = client(server.local_addr());
+        let stats = roundtrip(&mut reader, &mut stream, "{\"kind\":\"stats\"}");
+        assert!(stats.contains("\"approx\":true"), "{stats}");
+        assert!(stats.contains("\"approx_method\":\"permutation\""), "{stats}");
+        assert!(stats.contains("\"approx_samples\":48"), "{stats}");
+        assert!(stats.contains("\"approx_confidence\":0.95"), "{stats}");
+        assert!(stats.contains("\"approx_seed\":42"), "{stats}");
         server.shutdown();
     }
 

@@ -242,6 +242,15 @@ impl ServeState {
         &self.approx
     }
 
+    /// True when share queries are answered by the sampled estimator:
+    /// the resident scenario is past [`EXACT_SHAPLEY_MAX_PLAYERS`], or
+    /// the operator forced sampling with `--approx`. Mirrors the
+    /// dispatch guard in [`ServeState::execute`]; `stats` uses it so
+    /// the advertised method can never drift from the answering path.
+    pub fn approx_active(&self) -> bool {
+        self.approx.force || self.n() > EXACT_SHAPLEY_MAX_PLAYERS
+    }
+
     /// The scenario spec being served.
     pub fn spec(&self) -> &ScenarioSpec {
         &self.spec
@@ -536,6 +545,28 @@ mod tests {
 
     fn state() -> ServeState {
         ServeState::new(ScenarioSpec::paper_4_1(), 4)
+    }
+
+    #[test]
+    fn approx_active_mirrors_the_dispatch_guard() {
+        // n=3, no force: exact path.
+        assert!(!state().approx_active());
+        // Same scenario, operator-forced sampling.
+        assert!(state()
+            .with_approx(ApproxConfig {
+                force: true,
+                ..ApproxConfig::default()
+            })
+            .approx_active());
+        // Past the exact cap: sampled regardless of the force flag.
+        let wide = ScenarioSpec {
+            locations: vec![8; EXACT_SHAPLEY_MAX_PLAYERS + 1],
+            capacities: vec![1; EXACT_SHAPLEY_MAX_PLAYERS + 1],
+            threshold: 20.0,
+            shape: 1.0,
+            volume: Some(1),
+        };
+        assert!(ServeState::new(wide, 4).approx_active());
     }
 
     #[test]

@@ -278,6 +278,33 @@ impl FaultPlan {
         self
     }
 
+    /// Appends `count` seed-driven authority departures: distinct
+    /// authorities drawn uniformly from `0..n_authorities`, departure
+    /// times uniform over the last 70% of `[0, horizon)` (so early rounds
+    /// see the federation form before churn tears at it). Same seed ⇒
+    /// same schedule. The formation engine consumes these through
+    /// `fedval-form`'s churn schedule.
+    pub fn sampled_departures(
+        mut self,
+        seed: u64,
+        n_authorities: usize,
+        horizon: f64,
+        count: usize,
+    ) -> FaultPlan {
+        if n_authorities == 0 {
+            return self;
+        }
+        let mut rng = SimRng::seed_from(seed);
+        let mut remaining: Vec<usize> = (0..n_authorities).collect();
+        for _ in 0..count.min(n_authorities) {
+            let pick = rng.below(remaining.len() as u64) as usize;
+            let authority = remaining.swap_remove(pick);
+            let at = horizon * (0.3 + 0.7 * rng.uniform01());
+            self.events.push(Fault::AuthorityDeparture { authority, at });
+        }
+        self
+    }
+
     /// Whether the plan contains any credential outage (fast pre-check for
     /// the admission hot path).
     pub fn has_credential_outages(&self) -> bool {

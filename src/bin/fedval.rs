@@ -12,7 +12,7 @@
 //!
 //! Defaults reproduce the paper's §4.1 worked example.
 
-use fedval::coalition::NUCLEOLUS_MAX_PLAYERS;
+use fedval::coalition::{hoeffding_samples, NUCLEOLUS_MAX_PLAYERS};
 use fedval::policy::try_policy_report;
 use fedval::{
     ApproxConfig, ApproxMethod, Coalition, CoalitionalGame, Demand, ExperimentClass, Facility,
@@ -64,10 +64,16 @@ fn usage() -> &'static str {
      sampled Shapley (automatic past 16 facilities):\n\
        --approx                 force the sampled estimator even below the\n\
                                 exact cap\n\
-       --approx-samples N       sampling budget           (default 256)\n\
+       --epsilon        E       target error radius on normalized shares;\n\
+                                the sampling budget is Hoeffding-planned\n\
+                                from E and --confidence\n\
        --approx-seed    S       RNG seed; same seed, same output (default 42)\n\
        --approx-method  M       permutation|stratified  (default permutation)\n\
-       --confidence     C       CI confidence level in (0,1) (default 0.95)\n"
+       --confidence     C       CI confidence level in (0,1) (default 0.95)\n\
+     \n\
+     expert overrides (instead of --epsilon):\n\
+       --approx-samples N       explicit sampling budget  (default 256);\n\
+                                wins over --epsilon when both are given\n"
 }
 
 /// Default worker-thread count: the available hardware parallelism
@@ -97,6 +103,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if !matches!(opts.command.as_str(), "report" | "shares" | "values") {
         return Err(format!("unknown command '{}'\n\n{}", opts.command, usage()));
     }
+    // `--epsilon` plans the budget from the Hoeffding bound, but an
+    // explicit `--approx-samples` wins; resolved after the flag loop so
+    // order on the command line never matters.
+    let mut epsilon: Option<f64> = None;
+    let mut samples_overridden = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         // Valueless switches are matched before the generic value grab.
@@ -182,6 +193,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 if opts.approx.samples == 0 {
                     return Err("--approx-samples must be at least 1".to_string());
                 }
+                samples_overridden = true;
+            }
+            "--epsilon" => {
+                let e: f64 = value.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                if !(e > 0.0 && e.is_finite()) {
+                    return Err("--epsilon must be a positive finite number".to_string());
+                }
+                epsilon = Some(e);
             }
             "--approx-seed" => {
                 opts.approx.seed = value.parse().map_err(|e| format!("--approx-seed: {e}"))?;
@@ -209,6 +228,22 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opts.capacities.len() != opts.locations.len() {
         return Err("--capacities must match --locations in length".to_string());
+    }
+    if let Some(epsilon) = epsilon {
+        if !samples_overridden {
+            // Normalized shares live in [0, 1], so `range = 1`; the
+            // Hoeffding bound turns (ε, 1 − confidence) into the budget.
+            let delta = 1.0 - opts.approx.confidence;
+            let samples = hoeffding_samples(1.0, epsilon, delta);
+            if samples == usize::MAX {
+                return Err(format!(
+                    "--epsilon {epsilon} with --confidence {} needs an unbounded budget",
+                    opts.approx.confidence
+                ));
+            }
+            // The estimator's floor (32) still applies downstream.
+            opts.approx.samples = samples.max(1);
+        }
     }
     Ok(opts)
 }
@@ -546,6 +581,49 @@ mod tests {
         // The old 12-facility wall is gone.
         let many: Vec<&str> = vec!["4"; 40];
         assert!(parse(&args(&["shares", "--locations", &many.join(",")])).is_ok());
+    }
+
+    #[test]
+    fn epsilon_plans_the_sampling_budget() {
+        // ε = 0.1 at the default 95% confidence: ⌈ln(40)/0.02⌉ = 185.
+        let opts = parse(&args(&["shares", "--epsilon", "0.1"])).unwrap();
+        assert_eq!(opts.approx.samples, hoeffding_samples(1.0, 0.1, 0.05));
+        assert_eq!(opts.approx.samples, 185);
+
+        // Tighter confidence raises the planned budget; flag order on
+        // the command line must not matter.
+        let tight = parse(&args(&["shares", "--confidence", "0.99", "--epsilon", "0.1"])).unwrap();
+        let tight_rev =
+            parse(&args(&["shares", "--epsilon", "0.1", "--confidence", "0.99"])).unwrap();
+        assert_eq!(tight.approx.samples, tight_rev.approx.samples);
+        assert!(tight.approx.samples > opts.approx.samples);
+
+        // An explicit --approx-samples is the expert override and wins
+        // over --epsilon regardless of position.
+        let explicit = parse(&args(&[
+            "shares",
+            "--epsilon",
+            "0.1",
+            "--approx-samples",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(explicit.approx.samples, 64);
+        let explicit_rev = parse(&args(&[
+            "shares",
+            "--approx-samples",
+            "64",
+            "--epsilon",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(explicit_rev.approx.samples, 64);
+
+        assert!(parse(&args(&["shares", "--epsilon", "0"])).is_err());
+        assert!(parse(&args(&["shares", "--epsilon", "-0.5"])).is_err());
+        assert!(parse(&args(&["shares", "--epsilon", "inf"])).is_err());
+        assert!(parse(&args(&["shares", "--epsilon", "x"])).is_err());
+        assert!(parse(&args(&["shares", "--epsilon"])).is_err());
     }
 
     #[test]
